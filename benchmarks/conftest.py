@@ -1,0 +1,98 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper, prints a
+paper-vs-measured comparison (bypassing pytest capture so it is visible
+in normal runs), and appends it to ``benchmarks/results/summary.txt``.
+
+Scale: set ``REPRO_FAST=1`` to use a reduced workload subset and a half
+refresh window for the performance sweeps (about 4x faster, same
+qualitative results).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, List
+
+import pytest
+
+from repro.sim.perf import MoatRunConfig, PerfResult, run_workload
+from repro.workloads.generator import ActivationSchedule, generate_schedule
+from repro.workloads.profiles import TABLE4_PROFILES, WorkloadProfile
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FAST = os.environ.get("REPRO_FAST", "") not in ("", "0")
+
+#: Window length for performance sweeps.
+N_TREFI = 4096 if FAST else 8192
+
+#: Representative subset for the parameter-sweep tables (the hottest
+#: workloads plus quiet controls); the figure benchmarks use all 21.
+SWEEP_WORKLOADS = [
+    "roms",
+    "parest",
+    "xz",
+    "lbm",
+    "mcf",
+    "cactuBSSN",
+    "bwaves",
+    "sssp",
+    "tc",
+]
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction table to the real terminal and persist it."""
+
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with open(RESULTS_DIR / "summary.txt", "a") as handle:
+            handle.write(text + "\n\n")
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _report
+
+
+class ScheduleCache:
+    """Per-session cache of generated workload schedules."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, ActivationSchedule] = {}
+
+    def get(self, profile: WorkloadProfile, n_trefi: int = N_TREFI) -> ActivationSchedule:
+        key = f"{profile.name}:{n_trefi}"
+        if key not in self._cache:
+            self._cache[key] = generate_schedule(profile, n_trefi=n_trefi, seed=0)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def schedules() -> ScheduleCache:
+    return ScheduleCache()
+
+
+def sweep_profiles() -> List[WorkloadProfile]:
+    chosen = SWEEP_WORKLOADS[:5] if FAST else SWEEP_WORKLOADS
+    return [p for p in TABLE4_PROFILES if p.name in chosen]
+
+
+def all_profiles() -> List[WorkloadProfile]:
+    if FAST:
+        return sweep_profiles()
+    return list(TABLE4_PROFILES)
+
+
+def run_config(**kwargs) -> MoatRunConfig:
+    kwargs.setdefault("n_trefi", N_TREFI)
+    return MoatRunConfig(**kwargs)
+
+
+def run_one(
+    profile: WorkloadProfile, cache: ScheduleCache, **kwargs
+) -> PerfResult:
+    config = run_config(**kwargs)
+    return run_workload(profile, config, schedule=cache.get(profile, config.n_trefi))

@@ -1,0 +1,61 @@
+"""Figure 10: max ACTs on the attack row vs ATH (Ratchet, ABO level 1).
+
+The analytical model reproduces the published curve (99 at ATH=64, 161
+at ATH=128); the simulated attack validates that concrete executions
+stay at-or-below the model while exceeding ATH.
+"""
+
+from benchmarks.conftest import FAST
+from repro.analysis.ratchet_model import RatchetModel, ratchet_safe_trh
+from repro.attacks.ratchet import run_ratchet
+from repro.report.paper_values import FIG10_SAFE_TRH
+from repro.report.tables import format_table
+
+ATH_SWEEP = [16, 32, 48, 64, 80, 96, 112, 128]
+
+
+def test_fig10_model_curve(benchmark, report):
+    curve = benchmark.pedantic(
+        lambda: {ath: ratchet_safe_trh(ath, 1) for ath in ATH_SWEEP},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (ath, FIG10_SAFE_TRH.get(ath, ""), curve[ath]) for ath in ATH_SWEEP
+    ]
+    report(
+        format_table(
+            ["ATH", "paper", "model max ACT"],
+            rows,
+            title="Figure 10 - Ratchet bound vs ATH (level 1)",
+        )
+    )
+    assert curve[64] == 99
+    assert curve[128] == 161
+    values = [curve[a] for a in ATH_SWEEP]
+    assert values == sorted(values)
+
+
+def test_fig10_simulated_points(benchmark, report):
+    pool = 64 if FAST else 256
+
+    def attack():
+        return {
+            ath: run_ratchet(ath=ath, pool_size=pool).acts_on_attack_row
+            for ath in (32, 64, 128)
+        }
+
+    measured = benchmark.pedantic(attack, rounds=1, iterations=1)
+    model = RatchetModel(level=1)
+    rows = [
+        (ath, model.safe_trh(ath), measured[ath]) for ath in (32, 64, 128)
+    ]
+    report(
+        format_table(
+            ["ATH", "model bound", f"simulated (pool={pool})"],
+            rows,
+            title="Figure 10 - Simulated Ratchet vs model",
+        )
+    )
+    for ath in (32, 64, 128):
+        assert ath + 4 <= measured[ath] <= model.safe_trh(ath) + 1

@@ -1,0 +1,47 @@
+"""Figure 16 / Appendix B: refresh postponement vs drain-all Panopticon."""
+
+from repro.attacks.postponement import run_postponement_attack
+from repro.report.paper_values import (
+    POSTPONEMENT_ACTS,
+    POSTPONEMENT_ACTS_BETWEEN_BATCHES,
+)
+from repro.report.tables import format_table
+
+
+def test_fig16_postponement(benchmark, report):
+    result = benchmark.pedantic(run_postponement_attack, rounds=1, iterations=1)
+    rows = [
+        ("ACTs on attack row", POSTPONEMENT_ACTS, result.acts_on_attack_row),
+        ("x queueing threshold", 2.6, round(result.acts_on_attack_row / 128, 1)),
+        ("ACT window between batches", POSTPONEMENT_ACTS_BETWEEN_BATCHES,
+         result.acts_on_attack_row - 128),
+    ]
+    report(
+        format_table(
+            ["metric", "paper", "measured"],
+            rows,
+            title="Figure 16 - Refresh postponement vs drain-all Panopticon",
+        )
+    )
+    assert abs(result.acts_on_attack_row - POSTPONEMENT_ACTS) <= 5
+
+
+def test_fig16_scaling_with_threshold(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {t: run_postponement_attack(threshold=t) for t in (64, 128, 256)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (t, t + POSTPONEMENT_ACTS_BETWEEN_BATCHES, results[t].acts_on_attack_row)
+        for t in (64, 128, 256)
+    ]
+    report(
+        format_table(
+            ["queue threshold", "expected (thr + 201)", "measured"],
+            rows,
+            title="Figure 16 - Postponement attack vs threshold",
+        )
+    )
+    for t in (64, 128, 256):
+        assert abs(results[t].acts_on_attack_row - (t + 201)) <= 5

@@ -1,0 +1,77 @@
+"""Figure 1(a): the in-DRAM tracker design space at T_RH ~ 99.
+
+The paper's motivating figure places designs on SRAM-cost vs security
+axes. With every design implemented, we can measure both coordinates:
+
+* Low-cost SRAM tracker (TRR-style, 16 entries): cheap, broken by a
+  many-aggressor pattern.
+* SRAM-optimal tracker (Graphene sizing): secure, but needs tens of
+  kilobytes per bank at T_RH=99.
+* Panopticon (PRAC + queue): cheap, broken by Jailbreak (9x).
+* MOAT (PRAC + single entry + ABO): cheap and secure (bounded at 99).
+"""
+
+from repro.analysis.ratchet_model import ratchet_safe_trh
+from repro.attacks.jailbreak import run_deterministic_jailbreak
+from repro.attacks.ratchet import run_ratchet
+from repro.attacks.trespass import run_many_aggressor_attack
+from repro.mitigations.graphene import graphene_sram_bytes
+from repro.mitigations.moat import MoatPolicy
+from repro.mitigations.panopticon import PanopticonPolicy
+from repro.mitigations.trr import TrrTracker
+from repro.report.tables import format_table
+
+TARGET_TRH = 99
+
+
+def test_fig1_design_space(benchmark, report):
+    def measure():
+        trr_exposure = run_many_aggressor_attack(
+            num_aggressors=32, tracker_entries=16, acts_per_aggressor=600
+        ).max_danger
+        panopticon_exposure = run_deterministic_jailbreak().acts_on_attack_row
+        moat_exposure = run_ratchet(ath=64, pool_size=64).acts_on_attack_row
+        return trr_exposure, panopticon_exposure, moat_exposure
+
+    trr_exposure, pan_exposure, moat_exposure = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    rows = [
+        (
+            "TRR-style (16 entries)",
+            f"{TrrTracker(entries=16).sram_bytes()} B",
+            f"{trr_exposure} (unbounded)",
+            "NO",
+        ),
+        (
+            "Graphene-sized (optimal SRAM)",
+            f"{graphene_sram_bytes(TARGET_TRH):,} B",
+            f"<= {TARGET_TRH} by construction",
+            "yes (impractical)",
+        ),
+        (
+            "Panopticon (PRAC + 8-queue)",
+            f"{PanopticonPolicy().sram_bytes()} B",
+            f"{pan_exposure} (Jailbreak)",
+            "NO",
+        ),
+        (
+            "MOAT (PRAC + ABO, ATH=64)",
+            f"{MoatPolicy().sram_bytes()} B",
+            f"{moat_exposure} <= {ratchet_safe_trh(64, 1)}",
+            "YES",
+        ),
+    ]
+    report(
+        format_table(
+            ["design", "SRAM/bank", "worst exposure @ TRH~99", "secure?"],
+            rows,
+            title="Figure 1(a) - In-DRAM tracker design space",
+        )
+    )
+    # The quadrant claims: only MOAT is simultaneously cheap and secure.
+    assert trr_exposure > TARGET_TRH
+    assert pan_exposure > TARGET_TRH
+    assert moat_exposure <= ratchet_safe_trh(64, 1)
+    assert MoatPolicy().sram_bytes() < 10
+    assert graphene_sram_bytes(TARGET_TRH) > 1_000 * MoatPolicy().sram_bytes()

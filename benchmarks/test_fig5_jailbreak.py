@@ -1,0 +1,65 @@
+"""Figure 5: breaking deterministic and randomized Panopticon.
+
+The deterministic Jailbreak reaches ~9x the queueing threshold in one
+shot; the randomized variant gets there probabilistically, improving
+with the number of iterations (success probability 2^-16 per
+iteration).
+"""
+
+from benchmarks.conftest import FAST
+from repro.attacks.jailbreak import (
+    randomized_jailbreak_curve,
+    run_deterministic_jailbreak,
+    run_randomized_jailbreak_iteration,
+)
+from repro.report.paper_values import (
+    JAILBREAK_DETERMINISTIC_ACTS,
+    JAILBREAK_QUEUE_THRESHOLD,
+    JAILBREAK_RANDOMIZED_ACTS,
+)
+from repro.report.tables import format_table
+
+ITERATIONS = [2**k for k in range(2, 21, 3)]
+
+
+def test_fig5_deterministic(benchmark, report):
+    result = benchmark.pedantic(run_deterministic_jailbreak, rounds=1, iterations=1)
+    rows = [
+        ("ACTs on attack row", JAILBREAK_DETERMINISTIC_ACTS, result.acts_on_attack_row),
+        ("x queueing threshold", 9.0, round(result.acts_on_attack_row / 128, 1)),
+        ("ALERTs triggered", 0, result.alerts),
+    ]
+    report(format_table(["metric", "paper", "measured"], rows, title="Figure 5 - Deterministic Jailbreak"))
+    assert result.acts_on_attack_row >= 8.5 * JAILBREAK_QUEUE_THRESHOLD
+    assert result.alerts == 0
+
+
+def test_fig5_randomized_curve(benchmark, report):
+    curve = benchmark.pedantic(
+        lambda: randomized_jailbreak_curve(ITERATIONS, seed=0), rounds=1, iterations=1
+    )
+    rows = [(f"2^{n.bit_length() - 1}", "", curve[n]) for n in ITERATIONS]
+    rows.append(("paper best (~5 min)", JAILBREAK_RANDOMIZED_ACTS, max(curve.values())))
+    report(
+        format_table(
+            ["iterations", "paper", "best ACTs on attack row"],
+            rows,
+            title="Figure 5 - Randomized Jailbreak (sampled curve)",
+        )
+    )
+    assert max(curve.values()) >= 8 * JAILBREAK_QUEUE_THRESHOLD
+
+
+def test_fig5_randomized_iteration_validates_model(benchmark, report):
+    """Full-simulator spot check of the sampled curve's physics: a
+    fully-heavy iteration lands in the same range as the model."""
+    result = benchmark.pedantic(
+        lambda: run_randomized_jailbreak_iteration(
+            initial_counters=[112] * 8, attack_row_counter=96
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [("all-heavy iteration ACTs", "~1024-1152", result.acts_on_attack_row)]
+    report(format_table(["metric", "expected", "measured"], rows, title="Figure 5 - iteration validation"))
+    assert result.acts_on_attack_row >= 6.5 * JAILBREAK_QUEUE_THRESHOLD

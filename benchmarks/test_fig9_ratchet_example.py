@@ -1,0 +1,33 @@
+"""Figure 9: Ratchet on a 4-row pool at ABO level 4 (single-entry MOAT).
+
+The figure's idealized bookkeeping reaches ATH+15; the simulator
+executes the same scenario (footnote 1's misconfigured MR71 case:
+single-entry tracker, 7 permitted ACTs per ALERT) with exact DDR5
+timing, landing in the same regime (well above ATH, bounded by the
+Appendix A model for this pool size).
+"""
+
+from repro.attacks.ratchet import run_ratchet
+from repro.report.paper_values import FIG9_EXTRA_ACTS
+from repro.report.tables import format_table
+
+ATH = 64
+
+
+def test_fig9_ratchet_four_rows(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_ratchet(ath=ATH, pool_size=4, abo_level=4, tracker_level=1),
+        rounds=1,
+        iterations=1,
+    )
+    extra = result.acts_on_attack_row - ATH
+    rows = [
+        ("ACTs beyond ATH on last row", f"+{FIG9_EXTRA_ACTS} (idealized)", f"+{extra}"),
+        ("total on last row", ATH + FIG9_EXTRA_ACTS, result.acts_on_attack_row),
+        ("ALERTs in chain", 4, result.alerts),
+    ]
+    report(format_table(["metric", "paper", "measured"], rows, title="Figure 9 - Ratchet on 4 rows (level 4)"))
+    # The attack must beat ATH by at least the final inter-ALERT burst.
+    assert extra >= 7
+    # ...and stay within the same regime as the figure's +15.
+    assert extra <= 2 * FIG9_EXTRA_ACTS

@@ -1,0 +1,46 @@
+"""Table 4: workload characteristics (ACT-PKI and hot-row histogram).
+
+Generates every workload's synthetic activation stream and measures the
+per-tREFW hot-row counts, confirming the generator is calibrated to the
+published characteristics.
+"""
+
+import pytest
+
+from benchmarks.conftest import all_profiles
+from repro.report.tables import format_table
+from repro.workloads.generator import measure_characteristics
+
+
+def test_table4_characteristics(benchmark, report, schedules):
+    profiles = all_profiles()
+
+    def measure_all():
+        return {
+            p.name: measure_characteristics(schedules.get(p)) for p in profiles
+        }
+
+    measured = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    rows = []
+    for p in profiles:
+        m = measured[p.name]
+        rows.append(
+            (
+                p.display_name,
+                p.act_pki,
+                f"{p.act_32_plus}/{p.act_64_plus}/{p.act_128_plus}",
+                f"{m['act_32_plus']:.0f}/{m['act_64_plus']:.0f}/{m['act_128_plus']:.0f}",
+            )
+        )
+    report(
+        format_table(
+            ["workload", "ACT-PKI", "paper 32+/64+/128+", "measured 32+/64+/128+"],
+            rows,
+            title="Table 4 - Workload characteristics",
+        )
+    )
+    for p in profiles:
+        m = measured[p.name]
+        assert m["act_32_plus"] == pytest.approx(p.act_32_plus, rel=0.08, abs=4)
+        assert m["act_64_plus"] == pytest.approx(p.act_64_plus, rel=0.08, abs=4)
+        assert m["act_128_plus"] == pytest.approx(p.act_128_plus, rel=0.08, abs=4)

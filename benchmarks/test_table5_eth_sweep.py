@@ -1,0 +1,53 @@
+"""Table 5: impact of ETH (at ATH=64) on mitigation count and slowdown.
+
+Lower ETH means more rows are eligible for proactive mitigation (more
+energy); higher ETH starves the proactive path and pushes work onto
+ALERTs (more slowdown). ETH = ATH/2 = 32 is the paper's balance point.
+"""
+
+from benchmarks.conftest import run_one, sweep_profiles
+from repro.report.paper_values import TABLE5_ETH
+from repro.report.tables import format_table
+
+ETH_VALUES = [0, 16, 32, 48]
+
+
+def test_table5_eth_sweep(benchmark, report, schedules):
+    profiles = sweep_profiles()
+
+    def sweep():
+        table = {}
+        for eth in ETH_VALUES:
+            results = [
+                run_one(p, schedules, ath=64, eth=eth) for p in profiles
+            ]
+            mitigations = sum(
+                r.mitigations_per_trefw_per_bank for r in results
+            ) / len(results)
+            slowdown = sum(r.slowdown for r in results) / len(results)
+            table[eth] = (mitigations, slowdown)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            eth,
+            TABLE5_ETH[eth][0],
+            round(table[eth][0]),
+            f"{TABLE5_ETH[eth][1] * 100:.2f}%",
+            f"{table[eth][1] * 100:.2f}%",
+        )
+        for eth in ETH_VALUES
+    ]
+    report(
+        format_table(
+            ["ETH", "paper mit/tREFW", "measured", "paper slowdown", "measured"],
+            rows,
+            title="Table 5 - ETH sweep at ATH=64 (sweep subset; paper averages all 21)",
+        )
+    )
+    # Shape assertions: mitigation volume decreases monotonically with
+    # ETH, and ETH=0 does the most proactive work.
+    mitigation_counts = [table[eth][0] for eth in ETH_VALUES]
+    assert mitigation_counts == sorted(mitigation_counts, reverse=True)
+    assert table[0][0] > table[48][0]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Address-level attack demo: from virtual buffers to bank/row hammering.
+
+Shows the full software path an attacker (or a defender's red team)
+exercises: physical addresses run through the CoffeeLake-style bank
+hash, a clflush-style loop defeats the LLC, and the resulting
+activation stream drives a MOAT-protected bank.
+
+Run:  python examples/address_level_hammer.py
+"""
+
+from repro import MoatPolicy, SimConfig, SubchannelSim
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.mapping import CoffeeLakeMapping
+
+
+def main() -> None:
+    mapping = CoffeeLakeMapping()
+    llc = SetAssociativeCache()
+
+    # The attacker wants double-sided hammering around victim row 5000
+    # in bank 7 of sub-channel 0: aggressors are rows 4999 and 5001.
+    aggressors = [
+        mapping.compose(subchannel=0, bank=7, row=4999),
+        mapping.compose(subchannel=0, bank=7, row=5001),
+    ]
+    for addr in aggressors:
+        decoded = mapping.decode(addr)
+        print(f"aggressor address {addr:#014x} -> bank {decoded.bank}, "
+              f"row {decoded.row}")
+
+    sim = SubchannelSim(SimConfig(num_banks=32), lambda: MoatPolicy(ath=64))
+
+    # Access loop with explicit cache-line flushes (the classic
+    # clflush-based hammer): every access misses the LLC and reaches
+    # DRAM as an activation under the closed-page policy.
+    hammers = 5_000
+    dram_accesses = 0
+    for _ in range(hammers):
+        for addr in aggressors:
+            llc.flush_line(addr)
+            if not llc.access(addr):
+                decoded = mapping.decode(addr)
+                sim.activate(decoded.row, bank=decoded.bank)
+                dram_accesses += 1
+    sim.flush()
+
+    stats = sim.stats()
+    print(f"\nhammer loop      : {hammers:,} iterations, "
+          f"{dram_accesses:,} DRAM activations (LLC hit rate "
+          f"{llc.hit_rate:.0%} thanks to clflush)")
+    print(f"ALERTs raised    : {stats['alerts']:,}")
+    print(f"victim exposure  : {stats['max_danger']} activations")
+    print("\nNote the double-sided subtlety: MOAT counts *activations per")
+    print("aggressor row* (the paper's T_RH is a per-aggressor bound of")
+    print("99), so a victim squeezed between two aggressors accumulates")
+    print("up to 2x that before both sides are mitigated. This is an")
+    print("inherent property of activation counting (Section 8 contrasts")
+    print("it with ProTRR's victim counting); vendors provision T_RH for")
+    print("the worst-case blast pattern of their parts accordingly.")
+    assert stats["max_danger"] <= 2 * (64 + 4), "double-sided bound exceeded"
+
+
+if __name__ == "__main__":
+    main()

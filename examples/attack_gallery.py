@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Attack gallery: every attack pattern from the paper, end to end.
+
+Runs each attack against its target design and prints the headline
+number next to the paper's:
+
+* Jailbreak vs Panopticon (Section 3)      — 9x the queueing threshold
+* Feinting vs ideal per-row counters (§2.5) — harmonic-sum blowup
+* Ratchet vs MOAT (Section 5)               — a handful above ATH, bounded
+* Refresh postponement vs drain-all (App B) — 2.6x the threshold
+* TRRespass-style thrashing vs TRR (§2.4)   — tracker fully blinded
+
+Run:  python examples/attack_gallery.py
+"""
+
+from repro.analysis.feinting_model import feinting_bound
+from repro.analysis.ratchet_model import ratchet_safe_trh
+from repro.attacks import (
+    run_deterministic_jailbreak,
+    run_feinting,
+    run_many_aggressor_attack,
+    run_postponement_attack,
+    run_ratchet,
+)
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. Jailbreak vs Panopticon (queue threshold 128)")
+    jailbreak = run_deterministic_jailbreak()
+    print(f"   ACTs on attack row : {jailbreak.acts_on_attack_row} "
+          f"(paper: 1152, i.e. 9x threshold)")
+    print(f"   ALERTs triggered   : {jailbreak.alerts} (pattern stays stealthy)")
+
+    print("=" * 64)
+    print("2. Feinting vs idealized per-row tracking (1 aggressor / 4 tREFI)")
+    feint = run_feinting(trefi_per_mitigation=4, periods=512)
+    scaled_bound = 268 * sum(1.0 / i for i in range(1, 513))
+    print(f"   survivor activations: {feint.acts_on_attack_row} "
+          f"(scaled bound {scaled_bound:.0f}; full-window bound "
+          f"{feinting_bound(4):.0f}, paper Table 2: 2195)")
+
+    print("=" * 64)
+    print("3. Ratchet vs MOAT (ATH=64, ABO level 1, pool of 64 rows)")
+    ratchet = run_ratchet(ath=64, pool_size=64)
+    print(f"   max ACTs on last row: {ratchet.acts_on_attack_row} "
+          f"(bounded by the Appendix A model: {ratchet_safe_trh(64, 1)})")
+    print(f"   ALERT chain length  : {ratchet.alerts}")
+
+    print("=" * 64)
+    print("4. Refresh postponement vs drain-all Panopticon (threshold 128)")
+    postpone = run_postponement_attack()
+    print(f"   ACTs before mitigation: {postpone.acts_on_attack_row} "
+          f"(paper: 328 = 128 + ~200)")
+
+    print("=" * 64)
+    print("5. Many-aggressor thrashing vs a 16-entry TRR tracker")
+    blind = run_many_aggressor_attack(num_aggressors=32, tracker_entries=16,
+                                      acts_per_aggressor=600)
+    caught = run_many_aggressor_attack(num_aggressors=4, tracker_entries=16,
+                                       acts_per_aggressor=600)
+    print(f"   32 aggressors: max exposure {blind.max_danger} (tracker blind)")
+    print(f"    4 aggressors: max exposure {caught.max_danger} (tracker active)")
+
+    print("=" * 64)
+    print("Takeaway: only MOAT's exposure stays bounded near its ATH;")
+    print("every queue/SRAM design leaks by an order of magnitude.")
+
+
+if __name__ == "__main__":
+    main()

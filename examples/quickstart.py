@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: MOAT protecting a bank against a naive hammer.
+
+Builds a DDR5 sub-channel with MOAT (ATH=64, ETH=32), hammers one row
+far beyond the Rowhammer threshold, and shows that the ground-truth
+victim exposure never exceeds the paper's tolerated T_RH of 99 — while
+an unprotected bank sails past it almost immediately.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MoatPolicy, NullPolicy, SimConfig, SubchannelSim
+from repro.analysis.ratchet_model import ratchet_safe_trh
+
+HAMMERS = 20_000
+ROW = 12_345
+
+
+def hammer(sim: SubchannelSim, label: str) -> None:
+    for _ in range(HAMMERS):
+        sim.activate(ROW)
+    sim.flush()
+    stats = sim.stats()
+    print(f"{label}:")
+    print(f"  activations issued      : {stats['total_acts']:,}")
+    print(f"  ALERTs raised           : {stats['alerts']:,}")
+    print(f"  mitigations (pro/react) : "
+          f"{stats['proactive_mitigations']:,} / {stats['reactive_mitigations']:,}")
+    print(f"  max victim exposure     : {stats['max_danger']:,} activations")
+    print()
+
+
+def main() -> None:
+    safe_trh = ratchet_safe_trh(ath=64, level=1)
+    print(f"MOAT (ATH=64, ABO level 1) provably tolerates T_RH = {safe_trh}\n")
+
+    protected = SubchannelSim(SimConfig(), lambda: MoatPolicy(ath=64))
+    hammer(protected, "MOAT-protected bank")
+    exposure = protected.stats()["max_danger"]
+    assert exposure <= safe_trh, "security invariant violated!"
+    print(f"  -> exposure {exposure} <= tolerated T_RH {safe_trh}: SAFE\n")
+
+    unprotected = SubchannelSim(SimConfig(), NullPolicy)
+    hammer(unprotected, "Unprotected bank")
+    print("  -> an unprotected bank exposes victims to every activation;")
+    print(f"     at a real-world T_RH of 4,800 this row flips bits "
+          f"{unprotected.stats()['max_danger'] // 4800}x over.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Enables ``pip install -e . --no-build-isolation`` via the legacy
+``setup.py develop`` code path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

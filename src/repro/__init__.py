@@ -1,0 +1,77 @@
+"""repro — reproduction of *MOAT: Securely Mitigating Rowhammer with
+Per-Row Activation Counters* (Qureshi & Qazi, ASPLOS 2025).
+
+The package models the JEDEC DDR5 PRAC+ABO framework, implements MOAT
+and the designs it is compared against (Panopticon, idealized per-row
+tracking, low-cost SRAM trackers), the paper's attacks (Jailbreak,
+Feinting, Ratchet, TSA, refresh postponement), and a workload-driven
+performance evaluation calibrated to the paper's Table 4.
+
+Quickstart::
+
+    from repro import MoatPolicy, SimConfig, SubchannelSim
+
+    sim = SubchannelSim(SimConfig(), lambda: MoatPolicy(ath=64))
+    for _ in range(200):
+        sim.activate(row=1000)
+    print(sim.stats())
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+per-table/figure reproduction harness.
+"""
+
+from repro.abo import AboConfig, AboProtocol
+from repro.dram import (
+    Bank,
+    CounterResetPolicy,
+    DramTiming,
+    DDR5_PRAC_TIMING,
+    RefreshEngine,
+    SystemConfig,
+)
+from repro.mitigations import (
+    IdealPerRowPolicy,
+    MitigationPolicy,
+    MoatPolicy,
+    NullPolicy,
+    PanopticonPolicy,
+    ParaPolicy,
+    TrrTracker,
+)
+from repro.sim import SimConfig, SubchannelSim
+from repro.sim.perf import MoatRunConfig, PerfResult, run_workload, run_suite
+from repro.trace import ActivationTrace, TraceRecorder, replay
+from repro.workloads import TABLE4_PROFILES, WorkloadProfile, profile_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AboConfig",
+    "AboProtocol",
+    "Bank",
+    "CounterResetPolicy",
+    "DramTiming",
+    "DDR5_PRAC_TIMING",
+    "RefreshEngine",
+    "SystemConfig",
+    "IdealPerRowPolicy",
+    "MitigationPolicy",
+    "MoatPolicy",
+    "NullPolicy",
+    "PanopticonPolicy",
+    "ParaPolicy",
+    "TrrTracker",
+    "SimConfig",
+    "SubchannelSim",
+    "MoatRunConfig",
+    "PerfResult",
+    "run_workload",
+    "run_suite",
+    "ActivationTrace",
+    "TraceRecorder",
+    "replay",
+    "TABLE4_PROFILES",
+    "WorkloadProfile",
+    "profile_by_name",
+    "__version__",
+]

@@ -1,0 +1,175 @@
+"""ALERT-Back-Off (ABO) protocol state machine.
+
+JEDEC's ABO extension (paper Section 2.6, Figure 2) lets a DRAM chip
+assert ALERT when it needs time for Rowhammer mitigation:
+
+* After ALERT is asserted, the memory controller may continue normal
+  operation for 180 ns (enough for 3 activations at tRC = 52 ns).
+* The MC must then stall the sub-channel and issue ``L`` RFM commands
+  (350 ns each), where ``L`` is the *ABO mitigation level* programmed in
+  mode register MR71 op[1:0] (legal values 1, 2, 4).
+* A minimum of ``L`` activations must occur between consecutive ALERT
+  assertions.
+
+Consequently the minimum number of activations between consecutive
+ALERTs is ``3 + L`` (Figure 8: 4 at level 1, 7 at level 4), and the
+minimum time between assertions is ``tA2A = 180 + (350 + tRC) * L`` ns
+(Appendix A). Both are exposed here and consumed by the Ratchet and TSA
+analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.dram.timing import DramTiming, DDR5_PRAC_TIMING
+
+LEGAL_ABO_LEVELS = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class AboConfig:
+    """ABO configuration derived from MR71 op[1:0] and DRAM timing."""
+
+    level: int = 1
+    timing: DramTiming = field(default_factory=DramTiming)
+
+    def __post_init__(self) -> None:
+        if self.level not in LEGAL_ABO_LEVELS:
+            raise ValueError(
+                f"ABO level must be one of {LEGAL_ABO_LEVELS}, got {self.level}"
+            )
+
+    @property
+    def rfms_per_alert(self) -> int:
+        """RFM commands the MC must issue per ALERT (equals the level)."""
+        return self.level
+
+    @property
+    def min_acts_between_alerts(self) -> int:
+        """Minimum ACTs between consecutive ALERTs: 3 pre-RFM + L post.
+
+        Figure 8: three activations fit in the 180 ns pre-RFM window and
+        the specification mandates ``level`` activations after the RFMs
+        before the next ALERT may be inserted.
+        """
+        return self.pre_rfm_acts + self.level
+
+    @property
+    def pre_rfm_acts(self) -> int:
+        """ACTs that fit in the 180 ns window after ALERT assertion."""
+        return int(self.timing.t_abo_act_window // self.timing.t_rc)
+
+    @property
+    def post_rfm_acts(self) -> int:
+        """Mandatory ACTs after the RFMs before the next ALERT."""
+        return self.level
+
+    @property
+    def alert_duration(self) -> float:
+        """tALERT: 180 ns window + L RFMs (530 ns at level 1)."""
+        return self.timing.alert_duration(self.level)
+
+    @property
+    def stall_duration(self) -> float:
+        """Time the sub-channel is unavailable per ALERT (the RFMs)."""
+        return self.level * self.timing.t_rfm
+
+    @property
+    def inter_alert_time(self) -> float:
+        """tA2A: minimum time between consecutive ALERT assertions."""
+        return self.timing.inter_alert_time(self.level)
+
+
+@dataclass
+class AlertEpisode:
+    """Record of one ALERT episode (for traces and tests)."""
+
+    assert_time: float
+    end_time: float
+    rfms: int
+    requesting_banks: List[int] = field(default_factory=list)
+
+
+class AboProtocol:
+    """Stateful ABO model used by the sub-channel simulator.
+
+    The protocol tracks when an ALERT may next be asserted (both the
+    tA2A time constraint and the min-ACTs constraint) and records every
+    episode. Mitigation policies request ALERTs; the simulator asks the
+    protocol whether the request may be honoured *now* and, if not, how
+    many more activations must elapse first — this delay window is
+    exactly what the Ratchet attack exploits.
+    """
+
+    def __init__(self, config: AboConfig | None = None) -> None:
+        self.config = config or AboConfig(level=1, timing=DDR5_PRAC_TIMING)
+        self.episodes: List[AlertEpisode] = []
+        # The min-ACTs constraint applies *between* consecutive ALERTs;
+        # the first assertion of a run is unconstrained.
+        self._acts_since_last_alert = self.config.min_acts_between_alerts
+        self._last_alert_end = float("-inf")
+        self._pending = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def alerts_issued(self) -> int:
+        return len(self.episodes)
+
+    @property
+    def alert_pending(self) -> bool:
+        return self._pending
+
+    def acts_until_alert_allowed(self) -> int:
+        """Activations still required before the next ALERT may assert."""
+        remaining = (
+            self.config.min_acts_between_alerts - self._acts_since_last_alert
+        )
+        return max(0, remaining)
+
+    def can_assert(self) -> bool:
+        """Whether an ALERT may be asserted right now (ACT constraint)."""
+        return self.acts_until_alert_allowed() == 0
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def note_activation(self) -> None:
+        """Record one activation on the sub-channel."""
+        self._acts_since_last_alert += 1
+
+    def request_alert(self) -> None:
+        """A bank asks for reactive mitigation; latched until honoured."""
+        self._pending = True
+
+    def cancel_pending(self) -> None:
+        """Withdraw the pending request (the triggering condition was
+        cleared by a mitigation before the ALERT could assert)."""
+        self._pending = False
+
+    def try_begin_alert(self, now: float, banks: List[int]) -> AlertEpisode | None:
+        """Begin an ALERT episode at ``now`` if one is pending and legal.
+
+        Returns the episode (whose ``end_time`` reflects the 180 ns
+        window plus the RFMs) or ``None`` if no ALERT can start.
+        """
+        if not self._pending or not self.can_assert():
+            return None
+        start = max(now, self._last_alert_end)
+        end = start + self.config.alert_duration
+        episode = AlertEpisode(
+            assert_time=start,
+            end_time=end,
+            rfms=self.config.rfms_per_alert,
+            requesting_banks=list(banks),
+        )
+        self.episodes.append(episode)
+        self._pending = False
+        self._acts_since_last_alert = 0
+        self._last_alert_end = end
+        return episode

@@ -1,0 +1,81 @@
+"""Shared plumbing for attack implementations.
+
+Attacks drive a :class:`~repro.sim.engine.SubchannelSim` adaptively (the
+threat model grants the attacker full knowledge of the defense state,
+Section 2.1) and report an :class:`AttackResult`. A
+:class:`MitigationLog` subscribes to the engine's mitigation events so
+attacks can detect exactly when their target row was serviced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import SubchannelSim
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run.
+
+    Attributes:
+        name: Attack identifier.
+        acts_on_attack_row: Activations the attacker landed on the
+            victim-adjacent attack row before it was mitigated — the
+            paper's headline metric for Jailbreak (Figure 5) and Ratchet
+            (Figure 10).
+        max_danger: Ground-truth maximum hammer exposure of any victim
+            row (from the bank's danger accounting).
+        alerts: ALERT episodes triggered during the attack.
+        elapsed_ns: Attack duration.
+        total_acts: Total activations issued.
+        details: Attack-specific extras.
+    """
+
+    name: str
+    acts_on_attack_row: int = 0
+    max_danger: int = 0
+    alerts: int = 0
+    elapsed_ns: float = 0.0
+    total_acts: int = 0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Activations per nanosecond over the attack."""
+        return self.total_acts / self.elapsed_ns if self.elapsed_ns else 0.0
+
+
+class MitigationLog:
+    """Records every mitigation performed by the engine."""
+
+    def __init__(self, sim: SubchannelSim) -> None:
+        self.events: List[Tuple[int, int, bool, float]] = []
+        self._mitigated_rows: Dict[Tuple[int, int], int] = {}
+        sim.mitigation_listeners.append(self._on_mitigation)
+
+    def _on_mitigation(self, bank: int, row: int, reactive: bool, time: float) -> None:
+        self.events.append((bank, row, reactive, time))
+        key = (bank, row)
+        self._mitigated_rows[key] = self._mitigated_rows.get(key, 0) + 1
+
+    def times_mitigated(self, row: int, bank: int = 0) -> int:
+        """How many times (bank, row) has been mitigated so far."""
+        return self._mitigated_rows.get((bank, row), 0)
+
+    def was_mitigated(self, row: int, bank: int = 0) -> bool:
+        return self.times_mitigated(row, bank) > 0
+
+    def last_mitigation_time(self, row: int, bank: int = 0) -> Optional[float]:
+        for b, r, _, time in reversed(self.events):
+            if b == bank and r == row:
+                return time
+        return None
+
+
+def spaced_rows(count: int, start: int = 4096, spacing: int = 8) -> List[int]:
+    """Aggressor rows spaced so their victim neighbourhoods never overlap
+    (spacing > 2 * blast_radius) and placed away from the refresh wave's
+    starting region."""
+    return [start + i * spacing for i in range(count)]

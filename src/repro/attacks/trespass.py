@@ -1,0 +1,60 @@
+"""Many-aggressor thrashing of low-cost SRAM trackers (paper §2.4).
+
+TRRespass-style attacks defeat few-entry trackers by using more
+aggressor rows than the tracker has entries: a Misra-Gries table keeps
+decrementing and never accumulates evidence against any single row, so
+every aggressor sails past the Rowhammer threshold unmitigated. With
+fewer aggressors than entries the same tracker catches them all — the
+contrast that motivates per-row counting in DRAM.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackResult, spaced_rows
+from repro.dram.refresh import CounterResetPolicy
+from repro.mitigations.trr import TrrTracker
+from repro.sim.engine import SimConfig, SubchannelSim
+
+
+def run_many_aggressor_attack(
+    num_aggressors: int = 32,
+    tracker_entries: int = 16,
+    acts_per_aggressor: int = 512,
+    mitigation_threshold: int = 32,
+    rows_per_bank: int = 64 * 1024,
+    num_groups: int = 8192,
+) -> AttackResult:
+    """Round-robin hammer ``num_aggressors`` rows against a TRR tracker.
+
+    With ``num_aggressors > tracker_entries`` the tracker stays blind
+    and ``max_danger`` approaches ``acts_per_aggressor``; with fewer
+    aggressors the tracker mitigates them and exposure stays bounded.
+    """
+    config = SimConfig(
+        rows_per_bank=rows_per_bank,
+        num_refresh_groups=num_groups,
+        reset_policy=CounterResetPolicy.FREE_RUNNING,
+        trefi_per_mitigation=4,
+        reset_counter_on_mitigation=True,
+    )
+    sim = SubchannelSim(
+        config,
+        lambda: TrrTracker(
+            entries=tracker_entries, mitigation_threshold=mitigation_threshold
+        ),
+    )
+    rows = spaced_rows(num_aggressors)
+    for _ in range(acts_per_aggressor):
+        for row in rows:
+            sim.activate(row)
+    sim.flush()
+
+    return AttackResult(
+        name=f"trrespass({num_aggressors} aggressors vs {tracker_entries} entries)",
+        acts_on_attack_row=sim.bank.max_danger,
+        max_danger=sim.bank.max_danger,
+        alerts=sim.alerts,
+        elapsed_ns=sim.now,
+        total_acts=sim.total_acts,
+        details={"aggressors": num_aggressors, "entries": tracker_entries},
+    )

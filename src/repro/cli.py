@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``attack`` — run one of the paper's attacks and print the result.
+* ``perf`` — evaluate MOAT on a Table 4 workload.
+* ``model`` — print an analytical model's table (Table 2, Figure 10,
+  Table 7 Safe-TRH, Section 7 throughput).
+* ``workloads`` — list the Table 4 profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.feinting_model import feinting_table
+from repro.analysis.ratchet_model import ratchet_sweep
+from repro.analysis.throughput import (
+    alert_window_throughput,
+    continuous_alert_slowdown,
+)
+from repro.attacks import (
+    run_deterministic_jailbreak,
+    run_feinting,
+    run_postponement_attack,
+    run_ratchet,
+    run_tsa,
+)
+from repro.attacks.base import AttackResult
+from repro.report.tables import format_table
+from repro.sim.perf import MoatRunConfig, run_workload
+from repro.workloads.profiles import TABLE4_PROFILES, profile_by_name
+
+
+def _print_attack(result: AttackResult) -> None:
+    rows = [
+        ("ACTs on attack row", result.acts_on_attack_row),
+        ("max victim exposure", result.max_danger),
+        ("ALERTs", result.alerts),
+        ("total ACTs issued", result.total_acts),
+        ("elapsed (us)", round(result.elapsed_ns / 1000.0, 1)),
+    ]
+    rows += [(key, value) for key, value in sorted(result.details.items())]
+    print(format_table(["metric", "value"], rows, title=result.name))
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    if args.name == "jailbreak":
+        result = run_deterministic_jailbreak(threshold=args.threshold)
+    elif args.name == "feinting":
+        result = run_feinting(trefi_per_mitigation=args.rate, periods=args.periods)
+    elif args.name == "ratchet":
+        result = run_ratchet(ath=args.ath, pool_size=args.pool, abo_level=args.level)
+    elif args.name == "postponement":
+        result = run_postponement_attack(threshold=args.threshold)
+    elif args.name == "tsa":
+        result = run_tsa(num_banks=args.banks, ath=args.ath)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.name)
+    _print_attack(result)
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    profile = profile_by_name(args.workload)
+    config = MoatRunConfig(
+        ath=args.ath,
+        eth=args.eth,
+        abo_level=args.level,
+        n_trefi=args.trefi,
+    )
+    result = run_workload(profile, config)
+    rows = [
+        ("ALERTs per tREFI (sub-channel)", f"{result.alerts_per_trefi:.4f}"),
+        ("slowdown", f"{result.slowdown:.3%}"),
+        ("mitigations+ALERTs / tREFW / bank",
+         f"{result.mitigations_per_trefw_per_bank:.0f}"),
+        ("activation overhead", f"{result.activation_overhead:.2%}"),
+    ]
+    title = (f"{profile.display_name} under MOAT-L{args.level} "
+             f"(ATH={args.ath}, ETH={result.eth})")
+    print(format_table(["metric", "value"], rows, title=title))
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    if args.name == "table2":
+        table = feinting_table()
+        rows = [(f"1 per {k} tREFI", round(v)) for k, v in sorted(table.items())]
+        print(format_table(["mitigation rate", "feinting T_RH"], rows,
+                           title="Table 2 - Feinting bound"))
+    elif args.name == "safe-trh":
+        sweep = ratchet_sweep(ath_values=[16, 32, 48, 64, 96, 128])
+        rows = [
+            (ath, sweep[1][ath], sweep[2][ath], sweep[4][ath])
+            for ath in sorted(sweep[1])
+        ]
+        print(format_table(["ATH", "L1", "L2", "L4"], rows,
+                           title="Safe T_RH under Ratchet (Appendix A)"))
+    elif args.name == "throughput":
+        rows = [
+            (f"level {level}",
+             f"{alert_window_throughput(level):.2f}x",
+             f"{continuous_alert_slowdown(level):.1f}x")
+            for level in (1, 2, 4)
+        ]
+        print(format_table(["ABO level", "ALERT-window throughput", "max slowdown"],
+                           rows, title="Section 7.1 / Appendix D"))
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        (p.display_name, p.suite, p.act_pki, p.act_32_plus, p.act_64_plus, p.act_128_plus)
+        for p in TABLE4_PROFILES
+    ]
+    print(format_table(
+        ["workload", "suite", "ACT-PKI", "32+", "64+", "128+"],
+        rows, title="Table 4 workloads"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MOAT (ASPLOS 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    attack = sub.add_parser("attack", help="run one of the paper's attacks")
+    attack.add_argument(
+        "name",
+        choices=["jailbreak", "feinting", "ratchet", "postponement", "tsa"],
+    )
+    attack.add_argument("--threshold", type=int, default=128,
+                        help="Panopticon queueing threshold")
+    attack.add_argument("--ath", type=int, default=64, help="MOAT ALERT threshold")
+    attack.add_argument("--pool", type=int, default=64, help="Ratchet pool size")
+    attack.add_argument("--level", type=int, default=1, choices=[1, 2, 4])
+    attack.add_argument("--rate", type=int, default=4,
+                        help="feinting: tREFI per proactive mitigation")
+    attack.add_argument("--periods", type=int, default=256,
+                        help="feinting: mitigation periods to attack over")
+    attack.add_argument("--banks", type=int, default=4, help="TSA bank count")
+    attack.set_defaults(func=_cmd_attack)
+
+    perf = sub.add_parser("perf", help="evaluate MOAT on a workload")
+    perf.add_argument("workload", help="Table 4 workload name (see 'workloads')")
+    perf.add_argument("--ath", type=int, default=64)
+    perf.add_argument("--eth", type=int, default=None)
+    perf.add_argument("--level", type=int, default=1, choices=[1, 2, 4])
+    perf.add_argument("--trefi", type=int, default=4096,
+                      help="simulated tREFI intervals (8192 = full window)")
+    perf.set_defaults(func=_cmd_perf)
+
+    model = sub.add_parser("model", help="print an analytical model table")
+    model.add_argument("name", choices=["table2", "safe-trh", "throughput"])
+    model.set_defaults(func=_cmd_model)
+
+    workloads = sub.add_parser("workloads", help="list Table 4 profiles")
+    workloads.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

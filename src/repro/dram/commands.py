@@ -1,0 +1,49 @@
+"""DRAM command vocabulary used by the simulator and attack patterns.
+
+Commands are lightweight records; the simulator consumes them from
+attack patterns or workload generators and applies DDR5 timing rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CommandKind(enum.Enum):
+    """Kinds of DRAM commands relevant to Rowhammer mitigation."""
+
+    ACT = "act"
+    PRE = "pre"
+    REF = "ref"
+    RFM = "rfm"
+    #: Pseudo-command emitted by patterns to deliberately idle the bus
+    #: (used by staggered attacks such as TSA).
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class Command:
+    """A single command addressed to one bank.
+
+    Attributes:
+        kind: The command kind.
+        bank: Index of the target bank within the sub-channel.
+        row: Target row for ACT commands (ignored otherwise).
+        duration: Optional explicit duration override in ns (used by NOP).
+    """
+
+    kind: CommandKind
+    bank: int = 0
+    row: int = 0
+    duration: float = 0.0
+
+    @staticmethod
+    def act(row: int, bank: int = 0) -> "Command":
+        """Convenience constructor for an activate command."""
+        return Command(CommandKind.ACT, bank=bank, row=row)
+
+    @staticmethod
+    def nop(duration: float, bank: int = 0) -> "Command":
+        """Convenience constructor for an idle period of ``duration`` ns."""
+        return Command(CommandKind.NOP, bank=bank, duration=duration)

@@ -1,0 +1,85 @@
+"""Base interface for in-DRAM mitigation policies.
+
+A policy observes activations on its bank (through the defense-visible
+counter value supplied by the refresh engine), selects aggressor rows
+for *proactive* mitigation (performed transparently during REF at a
+fixed rate) and may request *reactive* mitigation through the ABO ALERT
+mechanism. The simulator owns the clock and the bank; the policy owns
+only its SRAM-resident tracking state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+
+class MitigationPolicy(abc.ABC):
+    """Abstract in-DRAM Rowhammer mitigation policy (one per bank)."""
+
+    #: Human-readable policy name, used in reports.
+    name: str = "abstract"
+    #: Set by policies that need the list of refreshed rows in
+    #: :meth:`on_ref` (the engine skips materializing it otherwise).
+    wants_refresh_notifications: bool = False
+
+    def __init__(self) -> None:
+        #: Set when the policy wants an ALERT; the simulator forwards it
+        #: to the ABO protocol and clears it when the ALERT is serviced.
+        self.alert_requested = False
+        #: Counters for reporting.
+        self.proactive_mitigations = 0
+        self.reactive_mitigations = 0
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_activate(self, row: int, count: int) -> None:
+        """Observe an activation of ``row`` with defense-visible ``count``.
+
+        ``count`` already includes this activation (PRAC performs the
+        read-modify-write during the precharge of this very access).
+        The policy may set :attr:`alert_requested` here.
+        """
+
+    @abc.abstractmethod
+    def select_proactive(self) -> Optional[int]:
+        """Pick the aggressor row to mitigate at a mitigation-period
+        boundary, or ``None`` if nothing is eligible.
+
+        The simulator performs the actual victim refresh and then calls
+        :meth:`on_mitigated`.
+        """
+
+    @abc.abstractmethod
+    def select_reactive(self, max_rows: int) -> List[int]:
+        """Pick up to ``max_rows`` aggressor rows to mitigate during an
+        ALERT's RFM commands (``max_rows`` equals the ABO level)."""
+
+    def needs_alert(self) -> bool:
+        """Re-sampled ALERT condition: does the policy still hold state
+        that requires reactive mitigation? Consulted after an ALERT
+        episode completes, so a request whose trigger was already
+        serviced does not fire a spurious follow-up ALERT."""
+        return False
+
+    def on_mitigated(self, row: int) -> None:
+        """Notification that ``row`` was mitigated (victims refreshed,
+        counter reset). Policies drop any tracking state for the row."""
+
+    def on_ref(self, refreshed_rows: List[int]) -> None:
+        """Notification that a refresh group was refreshed (counters in
+        it may have been reset). Most policies ignore this."""
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def sram_bytes(self) -> int:
+        """SRAM cost of the policy's tracking state, in bytes per bank."""
+        return 0
+
+    def describe(self) -> str:
+        return f"{self.name} (SRAM: {self.sram_bytes()} B/bank)"

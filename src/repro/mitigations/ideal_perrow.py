@@ -1,0 +1,65 @@
+"""Idealized transparent per-row-counter mitigation (feinting subject).
+
+This policy models the *purely transparent* scheme of paper Section 2.5
+(and ProTRR's TRR-Ideal): perfect per-row activation counts, and at
+every mitigation period the row with the globally maximum count is
+mitigated. There is no ALERT — mitigation bandwidth is fixed at one
+aggressor row per ``k`` tREFI.
+
+Such a scheme is bounded by the feinting attack: with ``n`` activations
+available per mitigation period and ``M`` periods per refresh window,
+an attacker can push one row to ``n * H(M)`` activations (Table 2 —
+2195 at the default rate of one aggressor per 4 tREFI).
+
+Tracking the global maximum requires scanning all counters, which is
+why the paper deems this design impractical; it exists here as the
+analytical baseline for Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mitigations.base import MitigationPolicy
+
+
+class IdealPerRowPolicy(MitigationPolicy):
+    """Mitigate the row with the maximum defense-visible count.
+
+    Args:
+        eth: Minimum count for a row to be worth mitigating (0 disables
+            the filter; the paper's idealized scheme has none).
+    """
+
+    name = "ideal-per-row"
+    wants_refresh_notifications = True
+
+    def __init__(self, eth: int = 0) -> None:
+        super().__init__()
+        self.eth = eth
+        #: Mirror of the defense-visible counts of touched rows.
+        self._counts: Dict[int, int] = {}
+
+    def on_activate(self, row: int, count: int) -> None:
+        self._counts[row] = count
+
+    def select_proactive(self) -> Optional[int]:
+        if not self._counts:
+            return None
+        row, count = max(self._counts.items(), key=lambda item: item[1])
+        if count <= self.eth:
+            return None
+        # The engine resets the PRAC counter on mitigation; mirror that.
+        del self._counts[row]
+        return row
+
+    def select_reactive(self, max_rows: int) -> List[int]:
+        return []
+
+    def on_ref(self, refreshed_rows: List[int]) -> None:
+        for row in refreshed_rows:
+            self._counts.pop(row, None)
+
+    def sram_bytes(self) -> int:
+        """Not SRAM-implementable (requires a global max scan)."""
+        return 0

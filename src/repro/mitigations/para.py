@@ -1,0 +1,58 @@
+"""PARA: probabilistic adjacent-row activation (Kim et al., ISCA 2014).
+
+On every activation, with probability ``p`` the policy immediately
+refreshes the activated row's neighbours. PARA needs no SRAM but gives
+only probabilistic protection: the chance that an aggressor receives
+``T`` activations with no mitigation is ``(1 - p)^T``, so tolerating a
+low threshold with high assurance needs a large ``p`` and hence a large
+activation-bandwidth overhead. It is included as the stateless point in
+the design space of Section 2.4 / Figure 1(a).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.mitigations.base import MitigationPolicy
+
+
+class ParaPolicy(MitigationPolicy):
+    """Stateless probabilistic mitigation.
+
+    Args:
+        probability: Per-activation mitigation probability ``p``.
+        rng: Random source (seedable for reproducibility).
+    """
+
+    def __init__(self, probability: float = 0.001, rng: Optional[random.Random] = None) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self.name = f"PARA(p={probability})"
+        self._rng = rng or random.Random(0)
+        #: Row chosen for immediate mitigation (consumed by the engine
+        #: through select_proactive on the very next opportunity; PARA
+        #: conceptually mitigates inline but the engine API funnels all
+        #: mitigation through selection hooks).
+        self._pending: List[int] = []
+
+    def on_activate(self, row: int, count: int) -> None:
+        if self._rng.random() < self.probability:
+            self._pending.append(row)
+
+    def select_proactive(self) -> Optional[int]:
+        if self._pending:
+            return self._pending.pop(0)
+        return None
+
+    def select_reactive(self, max_rows: int) -> List[int]:
+        return []
+
+    def failure_probability(self, threshold: int) -> float:
+        """Probability an aggressor reaches ``threshold`` unmitigated."""
+        return (1.0 - self.probability) ** threshold
+
+    def sram_bytes(self) -> int:
+        return 0

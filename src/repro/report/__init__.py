@@ -1,0 +1,6 @@
+"""Reporting helpers: paper ground-truth values and table formatting."""
+
+from repro.report.tables import format_table, paper_vs_measured
+from repro.report import paper_values
+
+__all__ = ["format_table", "paper_vs_measured", "paper_values"]

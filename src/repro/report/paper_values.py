@@ -1,0 +1,96 @@
+"""Ground-truth numbers published in the paper, used by the benchmark
+harness to print paper-vs-measured comparisons.
+
+Every constant cites the table/figure/section it comes from.
+"""
+
+from __future__ import annotations
+
+#: Table 2 — Feinting T_RH bound for per-row counters.
+TABLE2_FEINTING = {1: 638, 2: 1188, 3: 1702, 4: 2195, 5: 2669}
+
+#: Table 5 — Impact of ETH (at ATH=64): ETH -> (mitigations+ALERTs per
+#: tREFW per bank, average slowdown).
+TABLE5_ETH = {
+    0: (1729, 0.0021),
+    16: (1329, 0.0021),
+    32: (835, 0.0028),
+    48: (505, 0.0069),
+}
+
+#: Table 6 — Impact of mitigation rate on MOAT (ATH=64): tREFI per
+#: aggressor -> average slowdown. 0 encodes "none (ALERT only)".
+TABLE6_MITIGATION_RATE = {
+    1: 0.0,
+    3: 0.0012,
+    5: 0.0028,
+    10: 0.0051,
+    0: 0.0091,
+}
+
+#: Table 7 — (ATH, level) -> (average slowdown, safe T_RH).
+TABLE7_ATH_LEVEL = {
+    (32, 1): (0.039, 69),
+    (32, 2): (0.056, 56),
+    (32, 4): (0.095, 50),
+    (64, 1): (0.0028, 99),
+    (64, 2): (0.0034, 87),
+    (64, 4): (0.0045, 82),
+    (128, 1): (0.0, 161),
+    (128, 2): (0.0, 150),
+    (128, 4): (0.0, 145),
+}
+
+#: Section 3.2 / Figure 5 — Jailbreak against threshold-128 Panopticon.
+JAILBREAK_DETERMINISTIC_ACTS = 1152
+JAILBREAK_RANDOMIZED_ACTS = 1145
+JAILBREAK_QUEUE_THRESHOLD = 128
+
+#: Section 3.3 — randomized Jailbreak success probability per iteration.
+JAILBREAK_RANDOMIZED_SUCCESS_PROB = 2.0 ** -16
+
+#: Figure 8 — minimum ACTs between consecutive ALERTs per ABO level.
+FIG8_MIN_ACTS = {1: 4, 2: 5, 4: 7}
+
+#: Figure 9 — illustrative Ratchet on 4 rows at ABO level 4: T+15.
+FIG9_EXTRA_ACTS = 15
+
+#: Figure 10 / Section 5.3 — MOAT tolerated T_RH at level 1.
+FIG10_SAFE_TRH = {64: 99, 128: 161}
+
+#: Section 6.2 — average slowdown.
+AVG_SLOWDOWN = {64: 0.0028, 128: 0.0}
+ROMS_SLOWDOWN_ATH64 = 0.02
+
+#: Section 6.3 — average ALERTs per tREFI (per sub-channel) at ATH=64.
+AVG_ALERTS_PER_TREFI_ATH64 = 0.023
+
+#: Section 6.5 — storage and energy.
+MOAT_SRAM_BYTES_PER_BANK = {1: 7, 2: 10, 4: 16}
+MOAT_SRAM_BYTES_PER_CHIP = {1: 224, 2: 320, 4: 512}
+MOAT_ACTIVATION_OVERHEAD_ATH64 = 0.023
+MOAT_ENERGY_OVERHEAD_BOUND = 0.005
+
+#: Section 7.1 — throughput during continuous ALERTs (level 1).
+ALERT_WINDOW_THROUGHPUT_L1 = 4.0 / 11.0
+
+#: Section 7.2 / Figure 13 — kernel throughput loss (~10%).
+KERNEL_THROUGHPUT_LOSS = 0.10
+
+#: Section 7.3 / Figure 12 — TSA throughput loss.
+TSA_LOSS = {4: 0.24, 17: 0.52}
+
+#: Appendix B / Figure 16 — refresh-postponement attack on drain-all
+#: Panopticon: 328 activations against a threshold of 128.
+POSTPONEMENT_ACTS = 328
+POSTPONEMENT_ACTS_PER_TREFI = 67
+POSTPONEMENT_ACTS_BETWEEN_BATCHES = 201
+
+#: Appendix D — continuous-ALERT worst-case slowdown per level.
+CONTINUOUS_ALERT_SLOWDOWN = {1: 2.8, 2: 3.8, 4: 4.9}
+
+#: Appendix D — ALERT-rate ratios relative to MOAT-L1 (ATH=64).
+ALERT_RATE_VS_L1 = {2: 0.52, 4: 0.27}
+
+#: Appendix D — average slowdown per level at ATH=64 (Figure 17a).
+FIG17_SLOWDOWN = {1: 0.0028, 2: 0.0034, 4: 0.0044}

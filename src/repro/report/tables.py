@@ -1,0 +1,62 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The benchmark suite prints paper-vs-measured tables; these helpers keep
+the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned fixed-width table."""
+    string_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in string_rows)
+    return "\n".join(out)
+
+
+def paper_vs_measured(
+    title: str,
+    label_header: str,
+    entries: Iterable[Sequence[object]],
+    value_headers: Sequence[str] = ("paper", "measured"),
+) -> str:
+    """Render a paper-vs-measured comparison table.
+
+    ``entries`` yields ``(label, paper_value, measured_value, ...)``
+    rows; extra columns need matching ``value_headers``.
+    """
+    headers = [label_header, *value_headers]
+    return format_table(headers, entries, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 0.01:
+            return f"{cell:.4f}"
+        if abs(cell) < 1:
+            return f"{cell:.3f}"
+        return f"{cell:,.1f}" if cell % 1 else f"{int(cell):,}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)

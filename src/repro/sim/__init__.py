@@ -1,0 +1,15 @@
+"""Simulation engines: security-accurate sub-channel simulator and the
+workload-driven performance front-end."""
+
+from repro.sim.engine import ActResult, SimConfig, SubchannelSim
+from repro.sim.mapping import AddressMapping, CoffeeLakeMapping
+from repro.sim.cache import SetAssociativeCache
+
+__all__ = [
+    "ActResult",
+    "SimConfig",
+    "SubchannelSim",
+    "AddressMapping",
+    "CoffeeLakeMapping",
+    "SetAssociativeCache",
+]

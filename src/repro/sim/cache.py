@@ -1,0 +1,77 @@
+"""Set-associative last-level cache model (Table 3: 8 MB, 16-way, 64 B).
+
+The LLC sits between the synthetic instruction front-end and the DRAM
+model: only LLC misses become memory activations. The model is a plain
+LRU set-associative cache — sufficient because the workload generator
+is calibrated in terms of *post-LLC* activation rates (Table 4 reports
+ACTs, not accesses), and examples use the cache to show the full
+address-level path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache of byte addresses.
+
+    Args:
+        size_bytes: Total capacity (default 8 MB).
+        ways: Associativity (default 16).
+        line_bytes: Cache-line size (default 64).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 8 * 1024 * 1024,
+        ways: int = 16,
+        line_bytes: int = 64,
+    ) -> None:
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache parameters must be positive")
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError("size must be a multiple of ways * line_bytes")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _index_tag(self, addr: int) -> tuple:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, addr: int) -> bool:
+        """Access ``addr``; returns True on hit, False on miss.
+
+        Misses fill the line, evicting the LRU way if the set is full.
+        """
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.ways:
+            ways.popitem(last=False)
+        ways[tag] = True
+        return False
+
+    def flush_line(self, addr: int) -> bool:
+        """Evict the line containing ``addr`` (clflush); True if present.
+
+        Rowhammer attack code uses this to defeat caching and force
+        every access to reach DRAM.
+        """
+        index, tag = self._index_tag(addr)
+        return self._sets[index].pop(tag, None) is not None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

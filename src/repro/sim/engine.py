@@ -1,0 +1,441 @@
+"""Nanosecond-resolution sub-channel simulator.
+
+The engine owns the clock, the banks, the refresh engines, the ABO
+protocol, and one mitigation policy per bank. Attack patterns and
+workload front-ends drive it through :meth:`SubchannelSim.activate` and
+:meth:`SubchannelSim.idle`; the engine interleaves the scheduled REF
+stream, proactive mitigations, and ALERT episodes in time order.
+
+Timing rules implemented (paper Sections 2.2, 2.6):
+
+* ACTs to the same bank are spaced by tRC (52 ns).
+* ACTs to different banks are spaced by a command-issue gap that models
+  the tFAW-limited peak rate (about 17 banks per tRC, Section 7.3).
+* One REF per tREFI occupies the sub-channel for tRFC; the refresh
+  engine may postpone up to 2 REFs, after which a mandatory batch runs
+  (Appendix B's attack vector).
+* Every ``trefi_per_mitigation`` REFs, each bank's policy may complete
+  one proactive aggressor mitigation (default 5 for MOAT: 4 victim
+  refreshes plus the counter-reset activation).
+* ALERT: after assertion the MC continues for 180 ns (an ACT is allowed
+  if it *completes* inside the window), then stalls for ``level`` RFMs
+  of 350 ns each; every bank gets one mitigation opportunity per RFM.
+  At least ``3 + level`` activations must separate consecutive ALERT
+  assertions (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.abo.protocol import AboConfig, AboProtocol
+from repro.dram.bank import Bank
+from repro.dram.refresh import CounterResetPolicy, RefreshEngine
+from repro.dram.timing import DramTiming, DDR5_PRAC_TIMING
+from repro.mitigations.base import MitigationPolicy
+
+#: Signature of mitigation listeners: (bank_index, row, reactive, time).
+MitigationListener = Callable[[int, int, bool, float], None]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Static configuration of a sub-channel simulation."""
+
+    timing: DramTiming = field(default_factory=lambda: DDR5_PRAC_TIMING)
+    num_banks: int = 1
+    rows_per_bank: int = 64 * 1024
+    num_refresh_groups: int = 8192
+    reset_policy: CounterResetPolicy = CounterResetPolicy.SAFE
+    #: REF periods per completed proactive aggressor mitigation.
+    #: 5 for MOAT (4 victims + counter reset), 4 for Panopticon.
+    #: 0 disables proactive mitigation (ALERT-only, Appendix C "none").
+    trefi_per_mitigation: int = 5
+    abo_level: int = 1
+    blast_radius: int = 2
+    track_danger: bool = True
+    #: Whether mitigating an aggressor resets its PRAC counter.
+    reset_counter_on_mitigation: bool = True
+    #: Channel command-issue gap between ACTs to different banks; the
+    #: default models the tFAW-limited rate of ~17 ACTs per tRC.
+    t_issue_gap: float = 52.0 / 17.0
+    #: Maximum REFs the attacker may postpone (DDR5 allows 2).
+    max_postponed_refs: int = 2
+    #: Initial per-row counter values (row -> count), e.g. randomized
+    #: Panopticon. ``None`` means all-zero.
+    initial_counter: Optional[Callable[[int], int]] = None
+    #: Interval (ns) between *external* RFM services, modelling ALERTs
+    #: raised by banks outside the simulated set: an ALERT's RFM gives
+    #: every bank of the sub-channel a reactive-mitigation opportunity,
+    #: so unsimulated banks' ALERTs service the simulated banks too.
+    #: The associated sub-channel stall is accounted separately by the
+    #: performance front-end. ``None`` disables injection.
+    external_service_interval_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ActResult:
+    """Outcome of one activate call."""
+
+    time: float
+    count: int
+    alert_pending: bool
+
+
+@dataclass
+class _Episode:
+    """An ALERT episode awaiting its RFM processing."""
+
+    assert_time: float
+    window_end: float
+    stall_end: float
+    processed: bool = False
+
+
+class SubchannelSim:
+    """Event-ordered simulator of one DRAM sub-channel.
+
+    Args:
+        config: Static simulation parameters.
+        policy_factory: Builds the per-bank mitigation policy.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        policy_factory: Callable[[], MitigationPolicy],
+    ) -> None:
+        self.config = config
+        timing = config.timing
+        self.timing = timing
+        self.banks: List[Bank] = [
+            Bank(
+                num_rows=config.rows_per_bank,
+                blast_radius=config.blast_radius,
+                track_danger=config.track_danger,
+                initial_counter=config.initial_counter,
+            )
+            for _ in range(config.num_banks)
+        ]
+        self.refresh: List[RefreshEngine] = [
+            RefreshEngine(
+                bank,
+                num_groups=config.num_refresh_groups,
+                reset_policy=config.reset_policy,
+                max_postponed=config.max_postponed_refs,
+            )
+            for bank in self.banks
+        ]
+        self.policies: List[MitigationPolicy] = [
+            policy_factory() for _ in range(config.num_banks)
+        ]
+        self.abo = AboProtocol(AboConfig(level=config.abo_level, timing=timing))
+        self.now = 0.0
+        self._channel_free = 0.0
+        self._bank_free = [0.0] * config.num_banks
+        self._next_ref = timing.t_refi
+        interval = config.external_service_interval_ns
+        self._next_external = interval if interval else float("inf")
+        self._episode: Optional[_Episode] = None
+        #: Attacker-controlled: request postponement of upcoming REFs.
+        self.postpone_refs = False
+        #: Listeners notified on every aggressor mitigation.
+        self.mitigation_listeners: List[MitigationListener] = []
+        # --- statistics -------------------------------------------------
+        self.total_acts = 0
+        self.alerts = 0
+        self.refs = 0
+        self.proactive_count = 0
+        self.reactive_count = 0
+        self.external_services = 0
+
+    # ------------------------------------------------------------------
+    # Public driving interface
+    # ------------------------------------------------------------------
+
+    def activate(self, row: int, bank: int = 0) -> ActResult:
+        """Issue one ACT; returns its issue time and observed count.
+
+        The engine first retires every scheduled event (REFs, pending
+        ALERT processing) that precedes the ACT, then applies timing
+        constraints (tRC per bank, issue gap, ALERT window/stall).
+        """
+        start = max(self.now, self._channel_free, self._bank_free[bank])
+        start = self._resolve_start(start)
+
+        bank_obj = self.banks[bank]
+        bank_obj.activate(row)
+        effective = self.refresh[bank].note_activation(row)
+        self.abo.note_activation()
+        self.total_acts += 1
+
+        policy = self.policies[bank]
+        policy.on_activate(row, effective)
+        if policy.alert_requested:
+            policy.alert_requested = False
+            self.abo.request_alert()
+
+        complete = start + self.timing.t_rc
+        self.now = start
+        self._channel_free = start + self.config.t_issue_gap
+        self._bank_free[bank] = complete
+
+        # ALERT asserts during the precharge of the triggering ACT.
+        self._maybe_assert_alert(complete)
+        return ActResult(time=start, count=effective, alert_pending=self.abo.alert_pending)
+
+    def idle(self, duration: float) -> None:
+        """Let wall-clock time pass with no commands issued."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.advance_to(self.now + duration)
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time``, retiring scheduled events."""
+        if time < self.now:
+            return
+        # A pending ALERT whose ACT-count constraint is already met
+        # asserts as soon as the attacker goes idle.
+        self._maybe_assert_alert(self.now)
+        self._drain_events(time)
+        self.now = max(self.now, time)
+
+    def flush(self) -> None:
+        """Retire any unprocessed ALERT episode (end-of-run cleanup)."""
+        if self._episode and not self._episode.processed:
+            self._process_episode()
+            self.now = max(self.now, self._episode.stall_end)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by adaptive attacks and tests
+    # ------------------------------------------------------------------
+
+    @property
+    def bank(self) -> Bank:
+        """The first bank (single-bank attack convenience)."""
+        return self.banks[0]
+
+    @property
+    def policy(self) -> MitigationPolicy:
+        """The first bank's policy (single-bank attack convenience)."""
+        return self.policies[0]
+
+    def trefi_index(self) -> int:
+        """Index of the current tREFI interval."""
+        return int(self.now // self.timing.t_refi)
+
+    def acts_possible(self, duration: float) -> int:
+        """Max single-bank ACTs in ``duration`` (pacing helper)."""
+        return int(duration // self.timing.t_rc)
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+
+    def _resolve_start(self, start: float) -> float:
+        """Retire events up to ``start`` and adjust it for stalls."""
+        while True:
+            if self._next_external <= start:
+                self._do_external_service()
+                continue
+            episode = self._episode
+            episode_due = (
+                episode is not None
+                and not episode.processed
+                and start + self.timing.t_rc > episode.window_end
+            )
+            # An ACT must complete before a due REF starts (the bank is
+            # precharged for refresh), so an overlap defers the ACT.
+            ref_due = self._next_ref < start + self.timing.t_rc
+            if episode_due and ref_due:
+                # Process whichever comes first in time.
+                if self._next_ref <= episode.window_end:
+                    start = max(start, self._do_ref())
+                else:
+                    start = max(start, self._finish_episode())
+                continue
+            if episode_due:
+                start = max(start, self._finish_episode())
+                continue
+            if ref_due:
+                start = max(start, self._do_ref())
+                continue
+            return start
+
+    def _drain_events(self, until: float) -> None:
+        while True:
+            if self._next_external <= until:
+                self._do_external_service()
+                continue
+            episode = self._episode
+            if (
+                episode is not None
+                and not episode.processed
+                and episode.window_end <= until
+            ):
+                if self._next_ref <= episode.window_end:
+                    self._do_ref()
+                else:
+                    self._finish_episode()
+                continue
+            if self._next_ref <= until:
+                self._do_ref()
+                continue
+            return
+
+    def _do_external_service(self) -> None:
+        """One RFM opportunity from an unsimulated bank's ALERT."""
+        time = self._next_external
+        self._next_external += self.config.external_service_interval_ns or 0.0
+        for index, policy in enumerate(self.policies):
+            for row in policy.select_reactive(1):
+                self._apply_mitigation(index, row, reactive=True, time=time)
+                self.external_services += 1
+
+    def _do_ref(self) -> float:
+        """Execute (or postpone) the REF due at ``self._next_ref``.
+
+        Returns the earliest time a subsequent ACT may start.
+        """
+        ref_time = self._next_ref
+        self._next_ref += self.timing.t_refi
+
+        if self.postpone_refs:
+            postponed = all(engine.postpone() for engine in self.refresh)
+            if postponed:
+                return ref_time
+            # Mandatory catch-up: execute the postponed batch.
+            batch = self.refresh[0].postponed + 1
+            end = ref_time
+            for _ in range(batch):
+                end = self._execute_one_ref(end)
+            return end
+
+        return self._execute_one_ref(ref_time)
+
+    def _execute_one_ref(self, start: float) -> float:
+        """Run one REF for every bank starting at ``start``."""
+        self.refs += 1
+        for index, engine in enumerate(self.refresh):
+            refreshed_group = engine.execute_ref()
+            policy = self.policies[index]
+            if getattr(policy, "wants_refresh_notifications", False):
+                policy.on_ref(engine.group_rows(refreshed_group))
+            else:
+                policy.on_ref([])
+            if policy.alert_requested:
+                policy.alert_requested = False
+                self.abo.request_alert()
+
+        rate = self.config.trefi_per_mitigation
+        if rate > 0 and self.refs % rate == 0:
+            for index in range(self.config.num_banks):
+                self._proactive_mitigation(index, start)
+
+        end = start + self.timing.t_rfc
+        # An ALERT request raised during REF may assert right after it.
+        self._maybe_assert_alert(end)
+        return end
+
+    def _proactive_mitigation(self, bank_index: int, time: float) -> None:
+        policy = self.policies[bank_index]
+        batch = getattr(policy, "proactive_batch", 1)
+        for _ in range(batch):
+            row = policy.select_proactive()
+            if row is None:
+                return
+            self._apply_mitigation(bank_index, row, reactive=False, time=time)
+            self.proactive_count += 1
+            policy.proactive_mitigations += 1
+
+    def _apply_mitigation(
+        self, bank_index: int, row: int, reactive: bool, time: float
+    ) -> None:
+        reset = self.config.reset_counter_on_mitigation
+        policy = self.policies[bank_index]
+        if getattr(policy, "mitigation_refreshes_row_directly", False):
+            # Victim-counting designs select the victim itself: refresh
+            # its data and reset its counter.
+            bank = self.banks[bank_index]
+            bank.refresh_row_data(row)
+            if reset:
+                bank.reset_prac(row)
+            bank.mitigation_activations += 1
+        else:
+            self.banks[bank_index].mitigate_aggressor(row, reset_counter=reset)
+        engine = self.refresh[bank_index]
+        if row in engine.shadow:
+            engine.shadow[row] = 0 if reset else engine.shadow[row]
+            if reset:
+                engine.shadow.pop(row, None)
+        for listener in self.mitigation_listeners:
+            listener(bank_index, row, reactive, time)
+
+    # ------------------------------------------------------------------
+    # ALERT machinery
+    # ------------------------------------------------------------------
+
+    def _maybe_assert_alert(self, time: float) -> None:
+        if self._episode is not None and not self._episode.processed:
+            return  # an episode is already in flight
+        episode = self.abo.try_begin_alert(time, banks=[])
+        if episode is None:
+            return
+        window_end = episode.assert_time + self.timing.t_abo_act_window
+        stall_end = window_end + self.abo.config.level * self.timing.t_rfm
+        self._episode = _Episode(
+            assert_time=episode.assert_time,
+            window_end=window_end,
+            stall_end=stall_end,
+        )
+        self.alerts += 1
+
+    def _finish_episode(self) -> float:
+        """Apply the in-flight episode's RFM mitigations; returns the
+        time at which the sub-channel unstalls."""
+        episode = self._episode
+        assert episode is not None and not episode.processed
+        self._process_episode()
+        return episode.stall_end
+
+    def _process_episode(self) -> None:
+        episode = self._episode
+        assert episode is not None
+        episode.processed = True
+        level = self.abo.config.level
+        # Requests raised while this episode was in flight are absorbed
+        # by its RFMs; the ALERT condition is re-sampled below.
+        self.abo.cancel_pending()
+        for index, policy in enumerate(self.policies):
+            rows = policy.select_reactive(level)
+            for row in rows:
+                self._apply_mitigation(
+                    index, row, reactive=True, time=episode.window_end
+                )
+                self.reactive_count += 1
+                policy.reactive_mitigations += 1
+            # A policy may immediately need another ALERT: a row still
+            # above ATH that this episode could not service, or the
+            # drain-all Panopticon variant with a still-full queue.
+            if policy.alert_requested or policy.needs_alert():
+                policy.alert_requested = False
+                self.abo.request_alert()
+        # The next ALERT may assert once the ACT-count constraint allows;
+        # the attempt happens on subsequent activations.
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics of the run so far."""
+        return {
+            "time_ns": self.now,
+            "total_acts": self.total_acts,
+            "refs": self.refs,
+            "alerts": self.alerts,
+            "proactive_mitigations": self.proactive_count,
+            "reactive_mitigations": self.reactive_count,
+            "max_danger": max(bank.max_danger for bank in self.banks),
+        }

@@ -1,0 +1,137 @@
+"""Physical-address-to-DRAM mapping (CoffeeLake-style XOR functions).
+
+The paper's baseline (Table 3) uses the Intel CoffeeLake mapping with a
+closed-page policy. The practically relevant property for Rowhammer
+studies is that bank-index bits are XOR hashes of address bits, so
+same-bank same-row conflicts are controllable by an attacker who knows
+the function. We implement a generic XOR-mask mapping plus the
+CoffeeLake-like preset used by the workload front-end.
+
+Addresses are byte addresses; the decoded tuple is
+``(subchannel, bank, row, column)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def _xor_bits(addr: int, bits: Sequence[int]) -> int:
+    """XOR of the given bit positions of ``addr`` (returns 0 or 1)."""
+    value = 0
+    for bit in bits:
+        value ^= (addr >> bit) & 1
+    return value
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """Decoded DRAM coordinates of a physical address."""
+
+    subchannel: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapping:
+    """Generic XOR-function DRAM address mapping.
+
+    Args:
+        bank_functions: One list of address-bit positions per bank-index
+            bit; bank bit *i* is the XOR of its positions.
+        subchannel_bits: Bit positions XORed into the sub-channel index
+            (single bit -> 2 sub-channels).
+        row_shift: Bit position where the row index starts.
+        row_bits: Number of row-index bits.
+        column_mask_bits: Number of low-order bits forming the column
+            (cache-line granularity and burst).
+    """
+
+    def __init__(
+        self,
+        bank_functions: List[List[int]],
+        subchannel_bits: List[int],
+        row_shift: int = 18,
+        row_bits: int = 16,
+        column_mask_bits: int = 13,
+    ) -> None:
+        self.bank_functions = [list(bits) for bits in bank_functions]
+        self.subchannel_bits = list(subchannel_bits)
+        self.row_shift = row_shift
+        self.row_bits = row_bits
+        self.column_mask_bits = column_mask_bits
+
+    @property
+    def num_banks(self) -> int:
+        return 1 << len(self.bank_functions)
+
+    def decode(self, addr: int) -> DramAddress:
+        """Decode a byte address into DRAM coordinates."""
+        if addr < 0:
+            raise ValueError("address must be non-negative")
+        bank = 0
+        for i, bits in enumerate(self.bank_functions):
+            bank |= _xor_bits(addr, bits) << i
+        subchannel = _xor_bits(addr, self.subchannel_bits)
+        row = (addr >> self.row_shift) & ((1 << self.row_bits) - 1)
+        column = addr & ((1 << self.column_mask_bits) - 1)
+        return DramAddress(subchannel=subchannel, bank=bank, row=row, column=column)
+
+    def compose(self, subchannel: int, bank: int, row: int, column: int = 0) -> int:
+        """Build *a* physical address decoding to the given coordinates.
+
+        Used by attack code that wants to hammer a specific (bank, row).
+        The returned address places the row directly and then fixes up
+        the XOR bank/sub-channel hashes using low-order row-independent
+        bits not covered by the row field.
+        """
+        addr = (row & ((1 << self.row_bits) - 1)) << self.row_shift
+        addr |= column & ((1 << self.column_mask_bits) - 1)
+        # Fix the bank hash one bit at a time using a dedicated toggle
+        # bit per function: the lowest listed bit below the row field.
+        for i, bits in enumerate(self.bank_functions):
+            want = (bank >> i) & 1
+            if _xor_bits(addr, bits) != want:
+                toggle = self._toggle_bit(bits)
+                addr ^= 1 << toggle
+        want_sc = subchannel & 1
+        if _xor_bits(addr, self.subchannel_bits) != want_sc:
+            addr ^= 1 << self._toggle_bit(self.subchannel_bits)
+        return addr
+
+    def _toggle_bit(self, bits: Sequence[int]) -> int:
+        """A bit position usable to flip this hash without touching the
+        row field or other hashes."""
+        candidates = [b for b in bits if b < self.row_shift]
+        if not candidates:
+            raise ValueError(
+                f"hash {bits} has no bit below the row field; cannot compose"
+            )
+        return min(candidates)
+
+
+class CoffeeLakeMapping(AddressMapping):
+    """CoffeeLake-like mapping for the Table 3 system.
+
+    32 banks per sub-channel (5 bank bits), 2 sub-channels, 8 KB rows.
+    Bank hash functions pair a low bit (below the row field) with a row
+    bit, which is what makes row-buffer attacks from contiguous memory
+    possible — and what our workload front-end exercises.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            bank_functions=[
+                [13, 18],
+                [14, 19],
+                [15, 20],
+                [16, 21],
+                [17, 22],
+            ],
+            subchannel_bits=[6, 12],
+            row_shift=18,
+            row_bits=16,
+            column_mask_bits=13,
+        )

@@ -1,0 +1,139 @@
+"""Activation-trace recording and replay.
+
+Traces let you capture the exact activation stream an attack or
+workload produced (with issue timestamps and per-event defense-visible
+counts), persist it as JSON-lines, and replay it against a different
+mitigation configuration — e.g. record a Jailbreak execution against
+Panopticon and replay it against MOAT to show the pattern is harmless
+there.
+
+Format: one JSON object per line, ``{"t": <issue_ns>, "b": <bank>,
+"r": <row>}``; a header line carries metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.engine import SubchannelSim
+
+_HEADER_KEY = "repro-trace"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class ActivationTrace:
+    """A recorded activation stream.
+
+    Attributes:
+        events: ``(issue_time_ns, bank, row)`` tuples in issue order.
+        metadata: Free-form provenance (attack name, config, seed...).
+    """
+
+    events: List[Tuple[float, int, int]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Tuple[float, int, int]]:
+        return iter(self.events)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.events[-1][0] if self.events else 0.0
+
+    def rows_touched(self) -> Dict[int, int]:
+        """Activation count per (bank << 32 | row) key, flattened to
+        per-row counts for single-bank traces."""
+        counts: Dict[int, int] = {}
+        single_bank = all(bank == 0 for _, bank, _ in self.events)
+        for _, bank, row in self.events:
+            key = row if single_bank else (bank << 32) | row
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON-lines with a header record."""
+        path = Path(path)
+        with path.open("w") as handle:
+            header = {
+                _HEADER_KEY: _FORMAT_VERSION,
+                "events": len(self.events),
+                "metadata": self.metadata,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for time, bank, row in self.events:
+                handle.write(json.dumps({"t": time, "b": bank, "r": row}) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ActivationTrace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        with path.open() as handle:
+            header_line = handle.readline()
+            if not header_line:
+                raise ValueError(f"{path}: empty trace file")
+            header = json.loads(header_line)
+            if _HEADER_KEY not in header:
+                raise ValueError(f"{path}: not a repro trace file")
+            if header[_HEADER_KEY] != _FORMAT_VERSION:
+                raise ValueError(
+                    f"{path}: unsupported trace version {header[_HEADER_KEY]}"
+                )
+            events = []
+            for line in handle:
+                record = json.loads(line)
+                events.append((float(record["t"]), int(record["b"]), int(record["r"])))
+        return cls(events=events, metadata=header.get("metadata", {}))
+
+
+class TraceRecorder:
+    """Attach to a :class:`SubchannelSim` to capture its activations.
+
+    Wraps ``sim.activate`` transparently; detach with :meth:`stop`.
+    """
+
+    def __init__(self, sim: SubchannelSim, metadata: Optional[Dict[str, object]] = None):
+        self.trace = ActivationTrace(metadata=dict(metadata or {}))
+        self._sim = sim
+        self._original = sim.activate
+
+        def recording_activate(row: int, bank: int = 0):
+            result = self._original(row, bank=bank)
+            self.trace.events.append((result.time, bank, row))
+            return result
+
+        sim.activate = recording_activate  # type: ignore[method-assign]
+
+    def stop(self) -> ActivationTrace:
+        """Detach from the simulator and return the captured trace."""
+        self._sim.activate = self._original  # type: ignore[method-assign]
+        return self.trace
+
+
+def replay(
+    trace: ActivationTrace,
+    sim: SubchannelSim,
+    honor_timing: bool = True,
+) -> None:
+    """Replay a trace into a simulator.
+
+    Args:
+        trace: The recorded stream.
+        honor_timing: Advance the clock to each event's original issue
+            time (idle gaps reproduce); when False, events are issued
+            back-to-back at the engine's natural pacing.
+    """
+    for time, bank, row in trace.events:
+        if honor_timing and sim.now < time:
+            sim.advance_to(time)
+        sim.activate(row, bank=bank)
+    sim.flush()

@@ -1,0 +1,31 @@
+"""Synthetic workloads calibrated to the paper's Table 4.
+
+SPEC-2017 and GAP traces are proprietary/huge; the generator produces
+activation streams whose two defining features match Table 4 exactly:
+the activation intensity (ACT-PKI) and the per-tREFW histogram of hot
+rows (rows receiving 32+/64+/128+ activations per bank per refresh
+window). These are the only workload features MOAT's behaviour depends
+on (Section 6.3 correlates slowdown with the ACT-64+ column).
+"""
+
+from repro.workloads.profiles import (
+    WorkloadProfile,
+    TABLE4_PROFILES,
+    profile_by_name,
+    average_profile,
+)
+from repro.workloads.generator import (
+    ActivationSchedule,
+    generate_schedule,
+    measure_characteristics,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "TABLE4_PROFILES",
+    "profile_by_name",
+    "average_profile",
+    "ActivationSchedule",
+    "generate_schedule",
+    "measure_characteristics",
+]

@@ -1,0 +1,101 @@
+"""Workload profiles from paper Table 4.
+
+Each profile records the activation rate (ACT-PKI: activations per
+kilo-instruction, aggregated over the 8-core rate-mode run) and the
+average number of rows per bank per tREFW receiving at least 32, 64,
+and 128 activations. These calibrate the synthetic trace generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Table 4 row: activation intensity and hot-row histogram."""
+
+    name: str
+    suite: str
+    act_pki: float
+    act_32_plus: int
+    act_64_plus: int
+    act_128_plus: int
+    #: Display name used in the paper's figures (GAP workloads are
+    #: plotted under their full names).
+    display_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.act_pki < 0:
+            raise ValueError("act_pki must be non-negative")
+        if not self.act_32_plus >= self.act_64_plus >= self.act_128_plus >= 0:
+            raise ValueError("hot-row counts must be non-increasing")
+        if not self.display_name:
+            object.__setattr__(self, "display_name", self.name)
+
+    def acts_per_ns(self, instructions_per_ns: float = 32.0) -> float:
+        """Aggregate activation rate given the instruction rate
+        (8 cores x 4 GHz at IPC 1 by default, per Table 3)."""
+        return self.act_pki / 1000.0 * instructions_per_ns
+
+    def acts_per_trefi_per_bank(
+        self,
+        trefi_ns: float = 3900.0,
+        total_banks: int = 64,
+        instructions_per_ns: float = 32.0,
+    ) -> float:
+        """Average activations per tREFI landing on one bank."""
+        return self.acts_per_ns(instructions_per_ns) * trefi_ns / total_banks
+
+
+#: The 21 workloads of Table 4 (15 SPEC-2017 + 6 GAP).
+TABLE4_PROFILES: List[WorkloadProfile] = [
+    WorkloadProfile("bwaves", "spec", 29.3, 1871, 199, 4),
+    WorkloadProfile("fotonik3d", "spec", 25.0, 2175, 113, 11),
+    WorkloadProfile("lbm", "spec", 20.9, 3145, 1325, 13),
+    WorkloadProfile("mcf", "spec", 19.8, 1772, 380, 113),
+    WorkloadProfile("omnetpp", "spec", 11.1, 1224, 142, 41),
+    WorkloadProfile("roms", "spec", 9.6, 2302, 995, 431),
+    WorkloadProfile("parest", "spec", 8.9, 2259, 1014, 406),
+    WorkloadProfile("xz", "spec", 8.8, 3409, 1255, 384),
+    WorkloadProfile("cactuBSSN", "spec", 3.6, 4187, 1180, 466),
+    WorkloadProfile("cam4", "spec", 3.0, 821, 89, 3),
+    WorkloadProfile("blender", "spec", 1.1, 1016, 358, 91),
+    WorkloadProfile("xalancbmk", "spec", 0.9, 585, 163, 36),
+    WorkloadProfile("wrf", "spec", 0.8, 567, 90, 0),
+    WorkloadProfile("x264", "spec", 0.6, 310, 59, 0),
+    WorkloadProfile("gcc", "spec", 0.6, 424, 107, 19),
+    WorkloadProfile("cc", "gap", 71.5, 1357, 215, 18, "ConnComp"),
+    WorkloadProfile("pr", "gap", 29.1, 1489, 349, 52, "PageRank"),
+    WorkloadProfile("bfs", "gap", 22.8, 529, 64, 16, "BFS"),
+    WorkloadProfile("tc", "gap", 18.2, 81, 0, 0, "TriCount"),
+    WorkloadProfile("bc", "gap", 9.0, 289, 43, 9, "BC"),
+    WorkloadProfile("sssp", "gap", 7.0, 1817, 620, 127, "SSSPath"),
+]
+
+_BY_NAME: Dict[str, WorkloadProfile] = {p.name: p for p in TABLE4_PROFILES}
+_BY_NAME.update({p.display_name: p for p in TABLE4_PROFILES})
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look up a Table 4 profile by short or display name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def average_profile() -> WorkloadProfile:
+    """The Table 4 'Average' row, built from the 21 profiles."""
+    n = len(TABLE4_PROFILES)
+    return WorkloadProfile(
+        name="average",
+        suite="all",
+        act_pki=round(sum(p.act_pki for p in TABLE4_PROFILES) / n, 1),
+        act_32_plus=round(sum(p.act_32_plus for p in TABLE4_PROFILES) / n),
+        act_64_plus=round(sum(p.act_64_plus for p in TABLE4_PROFILES) / n),
+        act_128_plus=round(sum(p.act_128_plus for p in TABLE4_PROFILES) / n),
+    )

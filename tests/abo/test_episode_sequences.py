@@ -1,0 +1,85 @@
+"""Scenario tests for ALERT episode sequencing through the engine."""
+
+import pytest
+
+from repro.dram.timing import DDR5_PRAC_TIMING
+from repro.mitigations.moat import MoatPolicy
+from repro.sim.engine import SimConfig, SubchannelSim
+
+
+def moat_sim(ath=64, level=1) -> SubchannelSim:
+    return SubchannelSim(
+        SimConfig(rows_per_bank=64 * 1024, num_refresh_groups=8192, abo_level=level),
+        lambda: MoatPolicy(ath=ath, level=level),
+    )
+
+
+class TestConsecutiveAlerts:
+    def test_back_to_back_alerts_spaced_by_min_acts(self):
+        """Two rows primed to ATH: their ALERTs are separated by at
+        least the level's minimum activation count (Figure 8)."""
+        sim = moat_sim(ath=64)
+        rows = (9000, 9008)
+        for row in rows:
+            for _ in range(64):
+                sim.activate(row)
+        assert sim.alerts == 0
+        # Cross both rows over ATH; alternate so both stay observed.
+        first_alert_acts = None
+        second_alert_acts = None
+        for i in range(40):
+            sim.activate(rows[i % 2])
+            if sim.alerts >= 1 and first_alert_acts is None:
+                first_alert_acts = sim.total_acts
+            if sim.alerts >= 2 and second_alert_acts is None:
+                second_alert_acts = sim.total_acts
+                break
+        sim.flush()
+        assert sim.alerts >= 2
+        # Figure 8 (level 1): at least 4 activations between ALERTs.
+        assert second_alert_acts - first_alert_acts >= 4
+
+    @pytest.mark.parametrize("level", [1, 2, 4])
+    def test_stall_scales_with_level(self, level):
+        sim = moat_sim(ath=64, level=level)
+        times = []
+        for _ in range(80):
+            times.append(sim.activate(9000).time)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # The largest gap is the RFM stall: level x 350 ns (plus the
+        # remnant of the 180 ns window).
+        assert max(gaps) >= level * DDR5_PRAC_TIMING.t_rfm
+
+    @pytest.mark.parametrize("level", [2, 4])
+    def test_higher_level_mitigates_more_rows_per_alert(self, level):
+        sim = moat_sim(ath=64, level=level)
+        rows = [9000 + 8 * i for i in range(level)]
+        # Prime `level` rows above ETH; the last one crosses ATH.
+        for row in rows[:-1]:
+            for _ in range(40):
+                sim.activate(row)
+        for _ in range(65):
+            sim.activate(rows[-1])
+        sim.flush()
+        assert sim.alerts == 1
+        assert sim.reactive_count == level
+
+
+class TestAlertWindowSemantics:
+    def test_triggering_act_count_is_ath_plus_one(self):
+        sim = moat_sim(ath=64)
+        counts = [sim.activate(9000).count for _ in range(65)]
+        assert counts[-1] == 65
+        sim.flush()
+        assert sim.alerts == 1
+
+    def test_window_acts_do_not_restart_alert(self):
+        """The 3 in-window activations above ATH must not spawn a
+        second (spurious) ALERT once the row is mitigated."""
+        sim = moat_sim(ath=64)
+        for _ in range(69):
+            sim.activate(9000)
+        # Let time pass with no further crossings.
+        sim.advance_to(sim.now + 20 * DDR5_PRAC_TIMING.t_refi)
+        assert sim.alerts == 1
+        assert sim.reactive_count == 1

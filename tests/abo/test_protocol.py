@@ -1,0 +1,108 @@
+"""Tests for the ALERT-Back-Off protocol (paper §2.6, Figures 2 and 8)."""
+
+import pytest
+
+from repro.abo.protocol import AboConfig, AboProtocol
+
+
+class TestAboConfig:
+    @pytest.mark.parametrize("level,expected", [(1, 4), (2, 5), (4, 7)])
+    def test_min_acts_between_alerts_fig8(self, level, expected):
+        # Figure 8: 3 pre-RFM ACTs + level post-RFM ACTs.
+        assert AboConfig(level=level).min_acts_between_alerts == expected
+
+    def test_three_acts_fit_in_180ns_window(self):
+        assert AboConfig(level=1).pre_rfm_acts == 3
+
+    @pytest.mark.parametrize("level", [0, 3, 5])
+    def test_illegal_levels_rejected(self, level):
+        with pytest.raises(ValueError):
+            AboConfig(level=level)
+
+    @pytest.mark.parametrize(
+        "level,duration", [(1, 530.0), (2, 880.0), (4, 1580.0)]
+    )
+    def test_alert_duration(self, level, duration):
+        assert AboConfig(level=level).alert_duration == duration
+
+    @pytest.mark.parametrize("level,stall", [(1, 350.0), (2, 700.0), (4, 1400.0)])
+    def test_stall_duration(self, level, stall):
+        assert AboConfig(level=level).stall_duration == stall
+
+    def test_inter_alert_time_level1(self):
+        assert AboConfig(level=1).inter_alert_time == 582.0
+
+    def test_rfms_equal_level(self):
+        assert AboConfig(level=4).rfms_per_alert == 4
+
+
+class TestAboProtocol:
+    def test_no_alert_without_request(self):
+        abo = AboProtocol(AboConfig(level=1))
+        assert abo.try_begin_alert(0.0, banks=[]) is None
+
+    def test_request_then_assert(self):
+        abo = AboProtocol(AboConfig(level=1))
+        abo.request_alert()
+        for _ in range(4):
+            abo.note_activation()
+        episode = abo.try_begin_alert(100.0, banks=[0])
+        assert episode is not None
+        assert episode.assert_time == 100.0
+        assert episode.end_time == 630.0
+        assert episode.rfms == 1
+
+    def test_min_act_constraint_blocks_early_assert(self):
+        abo = AboProtocol(AboConfig(level=1))
+        abo.request_alert()
+        for _ in range(4):
+            abo.note_activation()
+        assert abo.try_begin_alert(0.0, banks=[]) is not None
+        # Second alert needs 4 fresh activations.
+        abo.request_alert()
+        for _ in range(3):
+            abo.note_activation()
+            assert abo.try_begin_alert(1000.0, banks=[]) is None
+        abo.note_activation()
+        assert abo.try_begin_alert(1000.0, banks=[]) is not None
+
+    def test_acts_until_alert_allowed(self):
+        abo = AboProtocol(AboConfig(level=2))
+        abo.request_alert()
+        for _ in range(5):
+            abo.note_activation()
+        abo.try_begin_alert(0.0, banks=[])
+        assert abo.acts_until_alert_allowed() == 5
+        abo.note_activation()
+        assert abo.acts_until_alert_allowed() == 4
+
+    def test_assert_time_respects_previous_episode(self):
+        abo = AboProtocol(AboConfig(level=1))
+        abo.request_alert()
+        for _ in range(4):
+            abo.note_activation()
+        first = abo.try_begin_alert(0.0, banks=[])
+        abo.request_alert()
+        for _ in range(4):
+            abo.note_activation()
+        second = abo.try_begin_alert(10.0, banks=[])
+        # The next episode cannot begin before the previous one ends.
+        assert second.assert_time >= first.end_time
+
+    def test_cancel_pending(self):
+        abo = AboProtocol(AboConfig(level=1))
+        abo.request_alert()
+        abo.cancel_pending()
+        for _ in range(10):
+            abo.note_activation()
+        assert abo.try_begin_alert(0.0, banks=[]) is None
+
+    def test_episode_log(self):
+        abo = AboProtocol(AboConfig(level=1))
+        for _ in range(3):
+            abo.request_alert()
+            for _ in range(4):
+                abo.note_activation()
+            abo.try_begin_alert(0.0, banks=[1, 2])
+        assert abo.alerts_issued == 3
+        assert abo.episodes[0].requesting_banks == [1, 2]

@@ -1,0 +1,38 @@
+"""Tests for storage/energy accounting (paper Section 6.5, Appendix D)."""
+
+import pytest
+
+from repro.analysis.energy import (
+    activation_energy_overhead,
+    moat_sram_bytes,
+    moat_sram_bytes_per_chip,
+)
+
+
+class TestSram:
+    @pytest.mark.parametrize("level,per_bank", [(1, 7), (2, 10), (4, 16)])
+    def test_per_bank(self, level, per_bank):
+        assert moat_sram_bytes(level) == per_bank
+
+    @pytest.mark.parametrize("level,per_chip", [(1, 224), (2, 320), (4, 512)])
+    def test_per_chip(self, level, per_chip):
+        assert moat_sram_bytes_per_chip(level) == per_chip
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            moat_sram_bytes(3)
+
+
+class TestEnergy:
+    def test_activation_overhead(self):
+        overhead = activation_energy_overhead(1000, 23)
+        assert overhead.activation_overhead == pytest.approx(0.023)
+
+    def test_total_energy_overhead_bound(self):
+        # Section 6.5: 2.3% extra ACTs at <20% activation-energy share
+        # keeps total energy overhead under 0.5%.
+        overhead = activation_energy_overhead(1000, 23)
+        assert overhead.total_energy_overhead < 0.005
+
+    def test_zero_baseline(self):
+        assert activation_energy_overhead(0, 10).activation_overhead == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the Jailbreak attack on Panopticon (paper Section 3)."""
+
+import pytest
+
+from repro.attacks.jailbreak import (
+    is_heavy_weight,
+    iteration_acts_closed_form,
+    randomized_jailbreak_curve,
+    run_deterministic_jailbreak,
+    run_randomized_jailbreak_iteration,
+)
+
+
+class TestDeterministicJailbreak:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_deterministic_jailbreak()
+
+    def test_many_times_threshold(self, result):
+        # Paper: 1152 ACTs (9x the 128 queueing threshold); our timing
+        # model achieves >8.5x without triggering any ALERT.
+        assert result.acts_on_attack_row >= 8.5 * 128
+
+    def test_no_alert_raised(self, result):
+        # The pattern is paced to avoid queue overflow.
+        assert result.alerts == 0
+
+    def test_ground_truth_danger_matches(self, result):
+        assert result.max_danger >= result.acts_on_attack_row - 2
+
+    def test_smaller_queue_hurts_less(self):
+        small = run_deterministic_jailbreak(queue_entries=2)
+        full = run_deterministic_jailbreak(queue_entries=8)
+        # The paper's recommendation: shorter queues are safer.
+        assert small.acts_on_attack_row < full.acts_on_attack_row
+
+
+class TestHeavyWeight:
+    def test_probability_is_one_quarter(self):
+        heavy = sum(1 for c in range(256) if is_heavy_weight(c))
+        assert heavy / 256 == 0.25
+
+    def test_crossing_semantics(self):
+        assert is_heavy_weight(96)
+        assert is_heavy_weight(127)
+        assert not is_heavy_weight(95)
+        assert is_heavy_weight(224)
+        assert not is_heavy_weight(128)
+
+
+class TestRandomizedIteration:
+    def test_all_heavy_reaches_many_times_threshold(self):
+        result = run_randomized_jailbreak_iteration(
+            initial_counters=[120] * 8, attack_row_counter=0
+        )
+        assert result.acts_on_attack_row >= 6 * 128
+        assert result.alerts == 0
+
+    def test_no_heavy_is_bounded(self):
+        result = run_randomized_jailbreak_iteration(
+            initial_counters=[0] * 8, attack_row_counter=0
+        )
+        assert result.acts_on_attack_row <= 3 * 128
+
+    def test_closed_form_tracks_simulation(self):
+        """The sampled curve's per-iteration model stays within one
+        service period of the full simulation."""
+        for heavy in (0, 4, 8):
+            counters = [120] * heavy + [0] * (8 - heavy)
+            sim = run_randomized_jailbreak_iteration(
+                initial_counters=counters, attack_row_counter=64
+            )
+            model = iteration_acts_closed_form(heavy, 64)
+            assert abs(sim.acts_on_attack_row - model) <= 2 * 128
+
+    def test_wrong_decoy_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_randomized_jailbreak_iteration([0] * 3, 0)
+
+
+class TestRandomizedCurve:
+    def test_curve_monotone(self):
+        curve = randomized_jailbreak_curve([4, 64, 1024, 16384], seed=1)
+        values = [curve[n] for n in (4, 64, 1024, 16384)]
+        assert values == sorted(values)
+
+    def test_enough_iterations_breaks_threshold(self):
+        # Figure 5: by ~2^17 iterations the attacker reaches ~1145 ACTs.
+        curve = randomized_jailbreak_curve([2**17], seed=0)
+        assert curve[2**17] >= 8 * 128
+
+    def test_deterministic_given_seed(self):
+        a = randomized_jailbreak_curve([256], seed=5)
+        b = randomized_jailbreak_curve([256], seed=5)
+        assert a == b

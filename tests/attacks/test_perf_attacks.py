@@ -1,0 +1,89 @@
+"""Tests for the performance attacks: kernels, TSA, postponement,
+many-aggressor thrashing (paper Section 7 and Appendices)."""
+
+import pytest
+
+from repro.attacks.kernels import run_multi_row_kernel, run_single_row_kernel
+from repro.attacks.postponement import run_postponement_attack
+from repro.attacks.trespass import run_many_aggressor_attack
+from repro.attacks.tsa import run_tsa
+
+
+class TestKernels:
+    def test_single_row_loss_near_ten_percent(self):
+        result = run_single_row_kernel(ath=64, total_acts=10_000)
+        assert 0.03 <= result.details["throughput_loss"] <= 0.15
+
+    def test_multi_row_loss_similar(self):
+        single = run_single_row_kernel(ath=64, total_acts=10_000)
+        multi = run_multi_row_kernel(rows=5, ath=64, total_acts=10_000)
+        assert abs(
+            multi.details["throughput_loss"] - single.details["throughput_loss"]
+        ) < 0.06
+
+    def test_higher_ath_reduces_loss(self):
+        low = run_single_row_kernel(ath=32, total_acts=6_000)
+        high = run_single_row_kernel(ath=128, total_acts=6_000)
+        assert high.details["throughput_loss"] < low.details["throughput_loss"]
+
+    def test_alert_rate_matches_ath(self):
+        result = run_single_row_kernel(ath=64, total_acts=10_000)
+        acts_per_alert = result.total_acts / result.alerts
+        assert 60 <= acts_per_alert <= 75
+
+
+class TestTsa:
+    def test_staggering_beats_single_bank(self):
+        single = run_tsa(num_banks=1, cycles=3)
+        staggered = run_tsa(num_banks=4, cycles=3)
+        assert (
+            staggered.details["throughput_loss"]
+            > single.details["throughput_loss"]
+        )
+
+    def test_four_banks_near_paper_value(self):
+        # Figure 12: ~24% loss at 4 banks.
+        result = run_tsa(num_banks=4, cycles=3)
+        assert 0.15 <= result.details["throughput_loss"] <= 0.35
+
+    def test_loss_grows_with_banks(self):
+        four = run_tsa(num_banks=4, cycles=2)
+        eight = run_tsa(num_banks=8, cycles=2)
+        assert eight.details["throughput_loss"] > four.details["throughput_loss"]
+
+    def test_loss_bounded_by_continuous_alert_ceiling(self):
+        # Section 7.1: even 100% ALERT residency caps at ~64% loss.
+        result = run_tsa(num_banks=8, cycles=2)
+        assert result.details["throughput_loss"] < 0.64
+
+
+class TestPostponement:
+    def test_breaks_drain_all_panopticon(self):
+        result = run_postponement_attack()
+        # Figure 16: 128 + ~200 = ~328 ACTs (2.6x the threshold).
+        assert 300 <= result.acts_on_attack_row <= 340
+
+    def test_danger_matches_issued_acts(self):
+        result = run_postponement_attack()
+        assert result.max_danger >= result.acts_on_attack_row - 2
+
+    def test_scales_with_threshold(self):
+        small = run_postponement_attack(threshold=64)
+        large = run_postponement_attack(threshold=128)
+        assert large.acts_on_attack_row - small.acts_on_attack_row >= 32
+
+
+class TestManyAggressor:
+    def test_thrashing_blinds_tracker(self):
+        result = run_many_aggressor_attack(
+            num_aggressors=32, tracker_entries=16, acts_per_aggressor=600
+        )
+        # Every aggressor sails through unmitigated.
+        assert result.max_danger >= 590
+
+    def test_few_aggressors_are_caught(self):
+        result = run_many_aggressor_attack(
+            num_aggressors=4, tracker_entries=16, acts_per_aggressor=600
+        )
+        # The tracker mitigates them; exposure stays well below total.
+        assert result.max_danger < 450

@@ -1,0 +1,54 @@
+"""Tests for the Ratchet attack simulation (paper Section 5)."""
+
+import pytest
+
+from repro.analysis.ratchet_model import RatchetModel
+from repro.attacks.ratchet import ratchet_growth_curve, run_ratchet
+
+
+class TestRatchetLevel1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ratchet(ath=64, pool_size=32, abo_level=1)
+
+    def test_exceeds_ath(self, result):
+        # Delayed ALERTs let the attacker go beyond ATH.
+        assert result.acts_on_attack_row > 64 + 4
+
+    def test_bounded_by_analytical_model(self, result):
+        model = RatchetModel(level=1)
+        assert result.acts_on_attack_row <= model.safe_trh(64) + 1
+
+    def test_alert_chain_fired(self, result):
+        assert result.alerts >= 16
+
+
+class TestGrowth:
+    def test_logarithmic_growth_with_pool(self):
+        curve = ratchet_growth_curve(ath=64, pool_sizes=[4, 16, 64])
+        assert curve[4] <= curve[16] <= curve[64]
+        # Logarithmic: quadrupling the pool adds a few ACTs, not 4x.
+        assert curve[64] - curve[4] < 32
+
+    def test_higher_ath_shifts_curve(self):
+        low = run_ratchet(ath=32, pool_size=16)
+        high = run_ratchet(ath=64, pool_size=16)
+        assert high.acts_on_attack_row - low.acts_on_attack_row >= 24
+
+
+class TestMisconfiguredLevel:
+    def test_level4_with_single_entry_tracker(self):
+        """Footnote 1 / Figure 9: a single-entry MOAT driven at ABO
+        level 4 gives the attacker 7 ACTs per ALERT."""
+        result = run_ratchet(ath=64, pool_size=4, abo_level=4, tracker_level=1)
+        # More inter-ALERT budget than level 1 on the same pool.
+        baseline = run_ratchet(ath=64, pool_size=4, abo_level=1)
+        assert result.acts_on_attack_row >= baseline.acts_on_attack_row
+        assert result.acts_on_attack_row > 64 + 7
+
+    def test_generalized_moat_l4_contains_ratchet(self):
+        """Appendix D: MOAT-L4 (4 tracker entries) mitigates 4 rows per
+        ALERT, blunting the pool."""
+        misconfigured = run_ratchet(ath=64, pool_size=16, abo_level=4, tracker_level=1)
+        generalized = run_ratchet(ath=64, pool_size=16, abo_level=4, tracker_level=4)
+        assert generalized.acts_on_attack_row <= misconfigured.acts_on_attack_row

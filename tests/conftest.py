@@ -1,0 +1,21 @@
+"""Shared fixtures: small banks and fast timings for unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.timing import DramTiming
+
+
+@pytest.fixture
+def small_bank() -> Bank:
+    """A 256-row bank with danger tracking enabled."""
+    return Bank(num_rows=256)
+
+
+@pytest.fixture
+def fast_timing() -> DramTiming:
+    """DDR5 timings with a tiny refresh window (64 REFs per tREFW) so
+    full-window experiments run in milliseconds."""
+    return DramTiming(t_refw=64 * 3900.0)

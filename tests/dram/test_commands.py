@@ -1,0 +1,29 @@
+"""Tests for the command vocabulary."""
+
+from repro.dram.commands import Command, CommandKind
+
+
+def test_act_constructor():
+    cmd = Command.act(row=42, bank=3)
+    assert cmd.kind is CommandKind.ACT
+    assert cmd.row == 42
+    assert cmd.bank == 3
+
+
+def test_nop_constructor():
+    cmd = Command.nop(duration=100.0)
+    assert cmd.kind is CommandKind.NOP
+    assert cmd.duration == 100.0
+
+
+def test_commands_are_immutable():
+    cmd = Command.act(1)
+    try:
+        cmd.row = 2
+        assert False, "should be frozen"
+    except AttributeError:
+        pass
+
+
+def test_kind_values():
+    assert {k.value for k in CommandKind} == {"act", "pre", "ref", "rfm", "nop"}

@@ -1,0 +1,148 @@
+"""Tests for the refresh engine: groups, postponement, counter reset."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.refresh import CounterResetPolicy, RefreshEngine
+
+
+def make(policy=CounterResetPolicy.SAFE, rows=64, groups=8):
+    bank = Bank(num_rows=rows)
+    return bank, RefreshEngine(bank, num_groups=groups, reset_policy=policy)
+
+
+class TestGroups:
+    def test_rows_per_group(self):
+        _, engine = make()
+        assert engine.rows_per_group == 8
+
+    def test_group_rows(self):
+        _, engine = make()
+        assert engine.group_rows(0) == list(range(8))
+        assert engine.group_rows(7) == list(range(56, 64))
+
+    def test_group_out_of_range(self):
+        _, engine = make()
+        with pytest.raises(IndexError):
+            engine.group_rows(8)
+
+    def test_rows_must_divide_evenly(self):
+        bank = Bank(num_rows=60)
+        with pytest.raises(ValueError):
+            RefreshEngine(bank, num_groups=8)
+
+    def test_pointer_advances_and_wraps(self):
+        _, engine = make()
+        for expected in list(range(8)) + [0, 1]:
+            assert engine.execute_ref() == expected
+        assert engine.refs_executed == 10
+
+
+class TestDataRefresh:
+    def test_refresh_clears_victim_exposure(self):
+        bank, engine = make()
+        bank.activate(3)  # exposes rows 1,2,4,5
+        engine.execute_ref()  # group 0 = rows 0..7
+        for victim in (1, 2, 4, 5):
+            assert bank.danger_count(victim) == 0
+
+    def test_refresh_only_covers_its_group(self):
+        bank, engine = make()
+        bank.activate(10)  # group 1
+        engine.execute_ref()  # refreshes group 0 only
+        assert bank.danger_count(9) == 1
+
+
+class TestCounterResetPolicies:
+    def test_free_running_never_resets(self):
+        bank, engine = make(CounterResetPolicy.FREE_RUNNING)
+        bank.activate(2)
+        engine.execute_ref()
+        assert bank.prac_count(2) == 1
+
+    def test_unsafe_resets_group_counters(self):
+        bank, engine = make(CounterResetPolicy.UNSAFE)
+        bank.activate(2)
+        engine.execute_ref()
+        assert bank.prac_count(2) == 0
+
+    def test_safe_resets_but_shadows_boundary_rows(self):
+        bank, engine = make(CounterResetPolicy.SAFE)
+        for _ in range(5):
+            bank.activate(6)  # second-to-last row of group 0
+            engine.note_activation(6)
+        engine.execute_ref()
+        assert bank.prac_count(6) == 0
+        assert engine.shadow == {6: 5, 7: 0}
+
+    def test_shadow_count_matches_blast_radius(self):
+        bank, engine = make(CounterResetPolicy.SAFE)
+        engine.execute_ref()
+        assert len(engine.shadow) == bank.blast_radius
+
+    def test_shadow_dropped_at_next_group(self):
+        bank, engine = make(CounterResetPolicy.SAFE)
+        engine.execute_ref()  # shadows rows 6, 7
+        engine.execute_ref()  # group 1 refreshed: rows 6,7 now safe
+        assert set(engine.shadow) == {14, 15}
+
+
+class TestEffectiveCount:
+    def test_effective_count_uses_shadow(self):
+        bank, engine = make(CounterResetPolicy.SAFE)
+        for _ in range(9):
+            bank.activate(7)
+            engine.note_activation(7)
+        engine.execute_ref()
+        # Counter reset, but the shadow holds the true count.
+        assert bank.prac_count(7) == 0
+        assert engine.effective_count(7) == 9
+
+    def test_note_activation_increments_shadow(self):
+        bank, engine = make(CounterResetPolicy.SAFE)
+        for _ in range(4):
+            bank.activate(7)
+            engine.note_activation(7)
+        engine.execute_ref()
+        bank.activate(7)
+        assert engine.note_activation(7) == 5
+        assert engine.effective_count(7) == 5
+
+    def test_effective_count_without_shadow(self):
+        bank, engine = make(CounterResetPolicy.SAFE)
+        bank.activate(30)
+        assert engine.effective_count(30) == 1
+
+    def test_clear_shadow(self):
+        bank, engine = make(CounterResetPolicy.SAFE)
+        engine.execute_ref()
+        engine.clear_shadow(7)
+        assert 7 not in engine.shadow
+
+
+class TestPostponement:
+    def test_postpone_up_to_limit(self):
+        _, engine = make()
+        assert engine.postpone()
+        assert engine.postpone()
+        assert not engine.postpone()
+        assert engine.postponed == 2
+
+    def test_batch_executes_all_postponed(self):
+        _, engine = make()
+        engine.postpone()
+        engine.postpone()
+        groups = engine.execute_postponed_batch()
+        assert groups == [0, 1, 2]
+        assert engine.postponed == 0
+
+    def test_execute_ref_reduces_deficit(self):
+        _, engine = make()
+        engine.postpone()
+        engine.execute_ref()
+        assert engine.postponed == 0
+
+    def test_custom_postpone_limit(self):
+        bank = Bank(num_rows=64)
+        engine = RefreshEngine(bank, num_groups=8, max_postponed=0)
+        assert not engine.postpone()

@@ -1,0 +1,89 @@
+"""Reproduce the Figure 7 counter-reset security analysis (Section 4.3).
+
+Unsafe reset-on-refresh lets a row accumulate 2T activations across a
+refresh boundary while the defense-visible counter never exceeds T;
+MOAT's safe reset (SRAM shadow counters for the last two rows of the
+refreshed group) keeps the defense-visible count truthful.
+"""
+
+from repro.dram.bank import Bank
+from repro.dram.refresh import CounterResetPolicy, RefreshEngine
+
+
+def hammer(bank, engine, row, times):
+    observed = 0
+    for _ in range(times):
+        bank.activate(row)
+        observed = engine.note_activation(row)
+    return observed
+
+
+class TestUnsafeReset:
+    def test_counter_underreports_after_reset(self):
+        """T activations before and after the reset: counter shows T,
+        but the victim in the next (not yet refreshed) group saw 2T."""
+        bank = Bank(num_rows=64)
+        engine = RefreshEngine(bank, num_groups=8, reset_policy=CounterResetPolicy.UNSAFE)
+        t = 50
+        # Row 7 is the last row of group 0; its victims 8, 9 are in
+        # group 1, which is refreshed *after* group 0.
+        hammer(bank, engine, row=7, times=t)
+        engine.execute_ref()  # refresh group 0, reset row 7's counter
+        observed = hammer(bank, engine, row=7, times=t)
+        assert observed == t  # defense sees only T
+        assert bank.danger_count(8) == 2 * t  # ground truth is 2T
+
+    def test_vulnerability_window_is_group_boundary(self):
+        """Interior rows are safe: their victims were refreshed too."""
+        bank = Bank(num_rows=64)
+        engine = RefreshEngine(bank, num_groups=8, reset_policy=CounterResetPolicy.UNSAFE)
+        t = 50
+        hammer(bank, engine, row=3, times=t)  # interior of group 0
+        engine.execute_ref()
+        hammer(bank, engine, row=3, times=t)
+        # Victims 1,2,4,5 were refreshed along with the group, so their
+        # exposure is only the post-refresh T.
+        assert bank.danger_count(4) == t
+
+
+class TestSafeReset:
+    def test_shadow_reports_true_count(self):
+        bank = Bank(num_rows=64)
+        engine = RefreshEngine(bank, num_groups=8, reset_policy=CounterResetPolicy.SAFE)
+        t = 50
+        hammer(bank, engine, row=7, times=t)
+        engine.execute_ref()
+        observed = hammer(bank, engine, row=7, times=t)
+        # The SRAM shadow carries the pre-reset count across the REF.
+        assert observed == 2 * t
+        assert engine.effective_count(7) == bank.danger_count(8)
+
+    def test_two_sram_counters_suffice(self):
+        """Only the last blast_radius rows of the refreshed group can
+        under-report; everything else is safe (Figure 7b)."""
+        bank = Bank(num_rows=64)
+        engine = RefreshEngine(bank, num_groups=8, reset_policy=CounterResetPolicy.SAFE)
+        t = 30
+        for row in range(8):
+            hammer(bank, engine, row=row, times=t)
+        engine.execute_ref()
+        # Interior rows: reset is safe because their victims were
+        # refreshed; the defense may forget their history.
+        for row in range(6):
+            max_exposure = max(
+                bank.danger_count(v) for v in bank.victims_of(row)
+            )
+            assert max_exposure <= engine.effective_count(row) + 2 * t
+        # Boundary rows: shadows must match the worst victim exposure.
+        for row in (6, 7):
+            worst = max(bank.danger_count(v) for v in bank.victims_of(row))
+            assert engine.effective_count(row) >= worst - 2 * t
+
+    def test_safe_reset_sram_cost_is_two_bytes(self):
+        """The shadow register file never exceeds blast_radius entries
+        (2 one-byte counters = the paper's 2 B per bank)."""
+        bank = Bank(num_rows=64)
+        engine = RefreshEngine(bank, num_groups=8, reset_policy=CounterResetPolicy.SAFE)
+        for _ in range(20):
+            engine.execute_ref()
+            assert len(engine.shadow) <= bank.blast_radius

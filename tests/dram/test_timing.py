@@ -1,0 +1,127 @@
+"""Tests for DDR5 timing parameters (paper Table 1 and Section 2.6)."""
+
+import pytest
+
+from repro.dram.timing import (
+    BASELINE_SYSTEM,
+    DDR5_LEGACY_TIMING,
+    DDR5_PRAC_TIMING,
+    DramTiming,
+    SystemConfig,
+)
+
+
+class TestTable1Values:
+    def test_tact(self):
+        assert DDR5_PRAC_TIMING.t_act == 12.0
+
+    def test_tpre_includes_prac_update(self):
+        # PRAC raises tPRE from 16 ns to 36 ns (Section 2.6).
+        assert DDR5_PRAC_TIMING.t_pre == 36.0
+        assert DDR5_LEGACY_TIMING.t_pre == 16.0
+
+    def test_tras_reduced_under_prac(self):
+        assert DDR5_PRAC_TIMING.t_ras == 16.0
+        assert DDR5_LEGACY_TIMING.t_ras == 32.0
+
+    def test_trc(self):
+        assert DDR5_PRAC_TIMING.t_rc == 52.0
+        assert DDR5_LEGACY_TIMING.t_rc == 48.0
+
+    def test_trefw_is_about_32ms(self):
+        # Table 1 rounds tREFW to 32 ms; the model keeps the identity
+        # tREFW = 8192 * tREFI exactly.
+        assert DDR5_PRAC_TIMING.t_refw == 8192 * 3900.0
+        assert DDR5_PRAC_TIMING.t_refw == pytest.approx(32e6, rel=0.002)
+
+    def test_trefi(self):
+        assert DDR5_PRAC_TIMING.t_refi == 3900.0
+
+    def test_trfc(self):
+        assert DDR5_PRAC_TIMING.t_rfc == 410.0
+
+
+class TestDerivedQuantities:
+    def test_67_acts_per_trefi(self):
+        # Section 2.2: (3900 - 410) / 52 = 67 activations per tREFI.
+        assert DDR5_PRAC_TIMING.acts_per_trefi == 67
+
+    def test_8192_refs_per_window(self):
+        assert DDR5_PRAC_TIMING.refs_per_refw == 8192
+
+    def test_acts_per_window(self):
+        assert DDR5_PRAC_TIMING.acts_per_refw == 67 * 8192
+
+    def test_1638_mitigations_per_window(self):
+        # Section 6.4: up to 1638 aggressor rows per tREFW per bank at
+        # one aggressor per 5 tREFI.
+        assert DDR5_PRAC_TIMING.mitigations_per_refw(5) == 1638
+
+    def test_2048_mitigations_at_rate_4(self):
+        assert DDR5_PRAC_TIMING.mitigations_per_refw(4) == 2048
+
+    def test_mitigation_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DDR5_PRAC_TIMING.mitigations_per_refw(0)
+
+
+class TestAlertTimings:
+    def test_alert_duration_level1_is_530ns(self):
+        assert DDR5_PRAC_TIMING.alert_duration(1) == 530.0
+
+    def test_alert_duration_level4_is_1580ns(self):
+        # Recommendations section: tALERT of 1580 ns at level 4.
+        assert DDR5_PRAC_TIMING.alert_duration(4) == 1580.0
+
+    def test_inter_alert_time_level1(self):
+        # Appendix A: tA2A = 180 + (350 + 52) * 1 = 582 ns.
+        assert DDR5_PRAC_TIMING.inter_alert_time(1) == 582.0
+
+    def test_inter_alert_time_level4(self):
+        assert DDR5_PRAC_TIMING.inter_alert_time(4) == 180.0 + 402.0 * 4
+
+    @pytest.mark.parametrize("level", [0, 3, 5, -1])
+    def test_illegal_abo_levels_rejected(self, level):
+        with pytest.raises(ValueError):
+            DDR5_PRAC_TIMING.alert_duration(level)
+
+
+class TestSystemConfig:
+    def test_table3_defaults(self):
+        cfg = BASELINE_SYSTEM
+        assert cfg.cores == 8
+        assert cfg.core_freq_ghz == 4.0
+        assert cfg.rob_entries == 256
+        assert cfg.llc_bytes == 8 * 1024 * 1024
+        assert cfg.llc_ways == 16
+        assert cfg.memory_gb == 32
+        assert cfg.banks == 32
+        assert cfg.subchannels == 2
+        assert cfg.rows_per_bank == 64 * 1024
+        assert cfg.row_bytes == 8 * 1024
+        assert cfg.closed_page
+
+    def test_total_banks(self):
+        assert BASELINE_SYSTEM.total_banks == 64
+
+    def test_instruction_rate(self):
+        # 8 cores x 4 GHz at IPC 1 = 32 instructions per ns.
+        assert BASELINE_SYSTEM.instructions_per_ns == 32.0
+
+    def test_custom_config(self):
+        cfg = SystemConfig(cores=4, banks=16)
+        assert cfg.total_banks == 32
+        assert cfg.instructions_per_ns == 16.0
+
+
+class TestCustomTiming:
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DDR5_PRAC_TIMING.t_rc = 10.0
+
+    def test_small_window(self, fast_timing):
+        assert fast_timing.refs_per_refw == 64
+
+    def test_acts_scale_with_trc(self):
+        slow = DramTiming(t_rc=104.0)
+        assert slow.acts_per_trefi == 33

@@ -1,0 +1,120 @@
+"""Tests for IdealPerRow, TRR (Misra-Gries) and PARA baselines."""
+
+import random
+
+import pytest
+
+from repro.mitigations.ideal_perrow import IdealPerRowPolicy
+from repro.mitigations.null import NullPolicy
+from repro.mitigations.para import ParaPolicy
+from repro.mitigations.trr import TrrTracker
+
+
+class TestIdealPerRow:
+    def test_mitigates_global_max(self):
+        pol = IdealPerRowPolicy()
+        pol.on_activate(1, 10)
+        pol.on_activate(2, 30)
+        pol.on_activate(3, 20)
+        assert pol.select_proactive() == 2
+        assert pol.select_proactive() == 3
+
+    def test_eth_filter(self):
+        pol = IdealPerRowPolicy(eth=25)
+        pol.on_activate(1, 10)
+        assert pol.select_proactive() is None
+
+    def test_refresh_drops_counts(self):
+        pol = IdealPerRowPolicy()
+        pol.on_activate(1, 50)
+        pol.on_ref([1])
+        assert pol.select_proactive() is None
+
+    def test_wants_refresh_notifications(self):
+        assert IdealPerRowPolicy.wants_refresh_notifications
+
+    def test_no_reactive(self):
+        pol = IdealPerRowPolicy()
+        pol.on_activate(1, 50)
+        assert pol.select_reactive(4) == []
+
+
+class TestTrrTracker:
+    def test_tracks_within_capacity(self):
+        trr = TrrTracker(entries=4, mitigation_threshold=3)
+        for _ in range(5):
+            trr.on_activate(7, 0)
+        assert trr.select_proactive() == 7
+
+    def test_below_threshold_not_mitigated(self):
+        trr = TrrTracker(entries=4, mitigation_threshold=10)
+        trr.on_activate(7, 0)
+        assert trr.select_proactive() is None
+
+    def test_misra_gries_decrement_on_conflict(self):
+        trr = TrrTracker(entries=2, mitigation_threshold=1)
+        trr.on_activate(1, 0)
+        trr.on_activate(2, 0)
+        trr.on_activate(3, 0)  # decrements 1 and 2 to zero, drops them
+        assert trr._table == {}
+
+    def test_thrashing_keeps_tracker_blind(self):
+        """More aggressors than entries: no row accumulates evidence."""
+        trr = TrrTracker(entries=4, mitigation_threshold=8)
+        for _ in range(100):
+            for row in range(8):
+                trr.on_activate(row, 0)
+        assert trr.select_proactive() is None
+
+    def test_entries_positive(self):
+        with pytest.raises(ValueError):
+            TrrTracker(entries=0)
+
+    def test_sram_bytes(self):
+        assert TrrTracker(entries=16).sram_bytes() == 48
+
+
+class TestPara:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            ParaPolicy(probability=1.5)
+
+    def test_deterministic_with_probability_one(self):
+        para = ParaPolicy(probability=1.0)
+        para.on_activate(5, 0)
+        assert para.select_proactive() == 5
+
+    def test_never_fires_with_probability_zero(self):
+        para = ParaPolicy(probability=0.0)
+        for _ in range(100):
+            para.on_activate(5, 0)
+        assert para.select_proactive() is None
+
+    def test_failure_probability(self):
+        para = ParaPolicy(probability=0.001)
+        # (1 - p)^T: chance a row reaches T activations unmitigated.
+        assert para.failure_probability(4800) == pytest.approx(
+            0.999**4800
+        )
+
+    def test_seedable(self):
+        a = ParaPolicy(probability=0.5, rng=random.Random(7))
+        b = ParaPolicy(probability=0.5, rng=random.Random(7))
+        for _ in range(50):
+            a.on_activate(1, 0)
+            b.on_activate(1, 0)
+        assert a._pending == b._pending
+
+    def test_no_sram(self):
+        assert ParaPolicy().sram_bytes() == 0
+
+
+class TestNullPolicy:
+    def test_does_nothing(self):
+        null = NullPolicy()
+        null.on_activate(1, 10**6)
+        assert not null.alert_requested
+        assert null.select_proactive() is None
+        assert null.select_reactive(4) == []
+        assert null.sram_bytes() == 0
+        assert not null.needs_alert()

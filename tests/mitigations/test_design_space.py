@@ -1,0 +1,129 @@
+"""Tests for the Figure 1(a) design-space baselines: victim counting
+(TRR-Ideal, §8) and SRAM-optimal Graphene sizing (§2.4)."""
+
+import pytest
+
+from repro.mitigations.graphene import (
+    graphene_entries_required,
+    graphene_sram_bytes,
+    make_graphene,
+)
+from repro.mitigations.moat import MoatPolicy
+from repro.mitigations.victim_counter import VictimCounterPolicy
+from repro.sim.engine import SimConfig, SubchannelSim
+
+
+class TestVictimCounterPolicy:
+    def test_activation_charges_neighbours(self):
+        pol = VictimCounterPolicy(num_rows=64)
+        pol.on_activate(10, 1)
+        assert pol.victim_counts == {8: 1, 9: 1, 11: 1, 12: 1}
+
+    def test_double_sided_accumulates_in_one_counter(self):
+        pol = VictimCounterPolicy(num_rows=64)
+        pol.on_activate(9, 1)
+        pol.on_activate(11, 1)
+        # Row 10 is the shared victim: both sides counted.
+        assert pol.victim_counts[10] == 2
+
+    def test_mitigate_max_victim(self):
+        pol = VictimCounterPolicy(num_rows=64)
+        for _ in range(3):
+            pol.on_activate(9, 1)
+        pol.on_activate(20, 1)
+        assert pol.select_proactive() in (7, 8, 10, 11)
+
+    def test_eth_filter(self):
+        pol = VictimCounterPolicy(num_rows=64, eth=5)
+        pol.on_activate(9, 1)
+        assert pol.select_proactive() is None
+
+    def test_refresh_resets_victim_counter(self):
+        pol = VictimCounterPolicy(num_rows=64)
+        pol.on_activate(9, 1)
+        pol.on_ref([8, 10])
+        assert 8 not in pol.victim_counts
+        assert 10 not in pol.victim_counts
+
+    def test_blast_radius_validation(self):
+        with pytest.raises(ValueError):
+            VictimCounterPolicy(blast_radius=0)
+
+
+class TestVictimCountingInEngine:
+    def double_sided(self, policy_factory, acts=600):
+        sim = SubchannelSim(
+            SimConfig(rows_per_bank=64 * 1024, num_refresh_groups=8192,
+                      trefi_per_mitigation=1),
+            policy_factory,
+        )
+        for _ in range(acts):
+            sim.activate(9000)
+            sim.activate(9002)
+        sim.flush()
+        return sim
+
+    def test_victim_counter_sees_combined_exposure(self):
+        """Section 8 contrast: under double-sided hammering the victim
+        counter equals the shared victim's true exposure, while each
+        per-aggressor PRAC counter sees only half of it."""
+        sim = SubchannelSim(
+            SimConfig(rows_per_bank=64 * 1024, num_refresh_groups=8192,
+                      trefi_per_mitigation=0),
+            lambda: VictimCounterPolicy(num_rows=64 * 1024),
+        )
+        for _ in range(30):
+            sim.activate(9000)
+            sim.activate(9002)
+        policy = sim.policy
+        true_exposure = sim.bank.danger_count(9001)
+        assert policy.victim_counts[9001] == true_exposure == 60
+        # Activation counting: each aggressor's counter shows 30.
+        assert sim.bank.prac_count(9000) == 30
+        assert sim.bank.prac_count(9002) == 30
+
+    def test_transparent_victim_counting_is_feinting_bounded(self):
+        """Without ALERTs, victim counting remains bounded by the
+        feinting limit like any purely transparent scheme (§2.5)."""
+        from repro.analysis.feinting_model import feinting_bound
+
+        sim = self.double_sided(lambda: VictimCounterPolicy(num_rows=64 * 1024))
+        assert sim.bank.max_danger <= feinting_bound(1)
+
+    def test_direct_refresh_clears_victim(self):
+        sim = self.double_sided(
+            lambda: VictimCounterPolicy(num_rows=64 * 1024), acts=300
+        )
+        # Mitigations happened and the engine refreshed victims directly.
+        assert sim.proactive_count > 0
+        assert sim.bank.mitigation_activations == sim.proactive_count
+
+
+class TestGrapheneSizing:
+    def test_entries_scale_inversely_with_trh(self):
+        assert graphene_entries_required(99) > graphene_entries_required(4800)
+
+    def test_low_trh_needs_thousands_of_entries(self):
+        # Figure 1(a): SRAM-optimal trackers are impractical at the
+        # thresholds MOAT targets.
+        entries = graphene_entries_required(99)
+        assert entries > 5_000
+        assert graphene_sram_bytes(99) > 20_000  # >20 KB per bank
+
+    def test_moat_is_three_orders_cheaper(self):
+        assert graphene_sram_bytes(99) / MoatPolicy().sram_bytes() > 1_000
+
+    def test_high_trh_is_cheap(self):
+        # At DDR4-era thresholds (139K) a handful of entries suffice —
+        # which is why TRR-style trackers used to be viable.
+        assert graphene_entries_required(139_000) < 10
+
+    def test_make_graphene_policy_works(self):
+        tracker = make_graphene(trh=10_000)
+        for _ in range(6_000):
+            tracker.on_activate(5, 0)
+        assert tracker.select_proactive() == 5
+
+    def test_trh_validation(self):
+        with pytest.raises(ValueError):
+            graphene_entries_required(1)

@@ -1,0 +1,44 @@
+"""Tests for report formatting and paper ground-truth constants."""
+
+from repro.report import paper_values
+from repro.report.tables import format_table, paper_vs_measured
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("value")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 9")
+        assert out.splitlines()[0] == "Table 9"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.0028], [0.5], [1234.0], [0]])
+        assert "0.0028" in out
+        assert "0.500" in out
+        assert "1,234" in out
+
+    def test_paper_vs_measured(self):
+        out = paper_vs_measured("T", "k", [["a", 1, 2]])
+        header = out.splitlines()[1]
+        assert "paper" in header and "measured" in header
+
+
+class TestPaperValues:
+    def test_table2_keys(self):
+        assert sorted(paper_values.TABLE2_FEINTING) == [1, 2, 3, 4, 5]
+
+    def test_table7_complete(self):
+        assert len(paper_values.TABLE7_ATH_LEVEL) == 9
+        assert paper_values.TABLE7_ATH_LEVEL[(64, 1)] == (0.0028, 99)
+
+    def test_headline_constants(self):
+        assert paper_values.JAILBREAK_DETERMINISTIC_ACTS == 1152
+        assert paper_values.POSTPONEMENT_ACTS == 328
+        assert paper_values.FIG10_SAFE_TRH[64] == 99
+        assert paper_values.MOAT_SRAM_BYTES_PER_BANK[1] == 7
+        assert paper_values.TSA_LOSS[17] == 0.52

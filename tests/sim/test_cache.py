@@ -1,0 +1,77 @@
+"""Tests for the set-associative LLC model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import SetAssociativeCache
+
+
+def tiny_cache(ways=2, sets=4, line=64) -> SetAssociativeCache:
+    return SetAssociativeCache(size_bytes=ways * sets * line, ways=ways, line_bytes=line)
+
+
+class TestBasics:
+    def test_table3_geometry(self):
+        llc = SetAssociativeCache()
+        assert llc.num_sets == 8 * 1024 * 1024 // (16 * 64)
+
+    def test_miss_then_hit(self):
+        llc = tiny_cache()
+        assert not llc.access(0)
+        assert llc.access(0)
+        assert llc.access(63)  # same line
+        assert not llc.access(64)  # next line
+
+    def test_lru_eviction(self):
+        llc = tiny_cache(ways=2, sets=1, line=64)
+        llc.access(0)
+        llc.access(64)
+        llc.access(0)  # refresh line 0
+        llc.access(128)  # evicts line 64 (LRU)
+        assert llc.access(0)
+        assert not llc.access(64)
+
+    def test_flush_line(self):
+        llc = tiny_cache()
+        llc.access(0)
+        assert llc.flush_line(0)
+        assert not llc.flush_line(0)
+        assert not llc.access(0)  # miss again after clflush
+
+    def test_hit_rate(self):
+        llc = tiny_cache()
+        llc.access(0)
+        llc.access(0)
+        assert llc.hit_rate == 0.5
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size_bytes=0),
+        dict(ways=0),
+        dict(line_bytes=0),
+        dict(size_bytes=1000, ways=16, line_bytes=64),
+    ])
+    def test_bad_geometry(self, kwargs):
+        defaults = dict(size_bytes=8192, ways=2, line_bytes=64)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(**defaults)
+
+
+class TestInvariants:
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=64 * 1024), max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        llc = tiny_cache(ways=2, sets=4)
+        for addr in addrs:
+            llc.access(addr)
+            for ways in llc._sets:
+                assert len(ways) <= llc.ways
+
+    @given(addr=st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_second_access_always_hits(self, addr):
+        llc = tiny_cache()
+        llc.access(addr)
+        assert llc.access(addr)

@@ -1,0 +1,131 @@
+"""Cross-module integration scenarios."""
+
+import random
+
+import pytest
+
+from repro.dram.refresh import CounterResetPolicy
+from repro.dram.timing import DDR5_PRAC_TIMING
+from repro.mitigations.moat import MoatPolicy
+from repro.mitigations.panopticon import PanopticonPolicy
+from repro.sim.engine import SimConfig, SubchannelSim
+
+
+class TestMultiBank:
+    def test_banks_have_independent_state(self):
+        sim = SubchannelSim(
+            SimConfig(num_banks=4, rows_per_bank=1024, num_refresh_groups=128),
+            lambda: MoatPolicy(ath=64),
+        )
+        for _ in range(10):
+            sim.activate(5, bank=0)
+        assert sim.banks[0].prac_count(5) == 10
+        assert sim.banks[1].prac_count(5) == 0
+
+    def test_alert_services_all_banks(self):
+        """One bank's ALERT gives every bank a reactive mitigation."""
+        sim = SubchannelSim(
+            SimConfig(num_banks=2, rows_per_bank=1024, num_refresh_groups=128),
+            lambda: MoatPolicy(ath=64),
+        )
+        # Rows live far from the refresh wave for this short run.
+        # Bank 1 tracks a row above ETH but below ATH.
+        for _ in range(40):
+            sim.activate(809, bank=1)
+        # Bank 0 crosses ATH and raises the ALERT.
+        for _ in range(70):
+            sim.activate(805, bank=0)
+        sim.flush()
+        assert sim.alerts >= 1
+        # Bank 1's tracked row was mitigated by bank 0's ALERT RFM.
+        assert sim.banks[1].prac_count(809) == 0
+
+    def test_stall_blocks_all_banks(self):
+        sim = SubchannelSim(
+            SimConfig(num_banks=2, rows_per_bank=1024, num_refresh_groups=128),
+            lambda: MoatPolicy(ath=64),
+        )
+        for _ in range(65):
+            sim.activate(805, bank=0)  # trigger ALERT on bank 0
+        before = sim.now
+        result = sim.activate(1, bank=1)
+        # Bank 1 is either inside the 180 ns window or pushed past the
+        # RFM stall; it can never issue during the RFM.
+        window_end = before + DDR5_PRAC_TIMING.t_abo_act_window
+        stall_end = window_end + DDR5_PRAC_TIMING.t_rfm
+        assert not (window_end < result.time < stall_end - DDR5_PRAC_TIMING.t_rc)
+
+
+class TestMixedPolicies:
+    def test_panopticon_and_moat_comparison(self):
+        """The same stream: Panopticon queues silently; MOAT alerts."""
+        stream = [(i % 3) * 8 + 800 for i in range(600)]
+
+        pan = SubchannelSim(
+            SimConfig(
+                rows_per_bank=1024,
+                num_refresh_groups=128,
+                reset_policy=CounterResetPolicy.FREE_RUNNING,
+                trefi_per_mitigation=4,
+                reset_counter_on_mitigation=False,
+            ),
+            lambda: PanopticonPolicy(queue_threshold=128),
+        )
+        moat = SubchannelSim(
+            SimConfig(rows_per_bank=1024, num_refresh_groups=128),
+            lambda: MoatPolicy(ath=64),
+        )
+        for row in stream:
+            pan.activate(row)
+            moat.activate(row)
+        pan.flush()
+        moat.flush()
+        # 200 ACTs per row: each row crosses MOAT's ATH of 64 multiple
+        # times but Panopticon's 128-queue threshold barely once.
+        assert moat.alerts > pan.alerts
+        assert moat.bank.max_danger <= 99
+
+
+class TestRandomizedPanopticonDistribution:
+    def test_random_counters_shift_crossings(self):
+        rng = random.Random(11)
+        sim = SubchannelSim(
+            SimConfig(
+                rows_per_bank=1024,
+                num_refresh_groups=128,
+                reset_policy=CounterResetPolicy.FREE_RUNNING,
+                trefi_per_mitigation=4,
+                reset_counter_on_mitigation=False,
+                initial_counter=lambda row: rng.randrange(256),
+            ),
+            lambda: PanopticonPolicy(queue_threshold=128),
+        )
+        # 64 activations per row: only rows whose initial counter was
+        # within 64 of a multiple of 128 enter the queue (~half).
+        rows = [800 + 8 * i for i in range(20)]
+        for _ in range(64):
+            for row in rows:
+                sim.activate(row)
+        policy = sim.policy
+        enqueued = len(policy.queue) + policy.overflows + sim.proactive_count
+        assert 0 < enqueued < len(rows)
+
+
+class TestLongRunStability:
+    @pytest.mark.parametrize("ath", [32, 64])
+    def test_sustained_pressure_keeps_invariant(self, ath):
+        sim = SubchannelSim(
+            SimConfig(rows_per_bank=64 * 1024, num_refresh_groups=8192),
+            lambda: MoatPolicy(ath=ath),
+        )
+        rng = random.Random(ath)
+        rows = [4096 + 8 * i for i in range(16)]
+        for _ in range(20_000):
+            sim.activate(rng.choice(rows))
+        sim.flush()
+        from repro.analysis.ratchet_model import ratchet_safe_trh
+
+        assert sim.bank.max_danger <= ratchet_safe_trh(ath, 1)
+        # Conservation: every ALERT episode performed at least one
+        # reactive mitigation (no spurious stalls).
+        assert sim.reactive_count >= sim.alerts - 1

@@ -1,0 +1,68 @@
+"""Tests for the CoffeeLake-style address mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.mapping import AddressMapping, CoffeeLakeMapping
+
+
+@pytest.fixture
+def mapping() -> CoffeeLakeMapping:
+    return CoffeeLakeMapping()
+
+
+class TestDecode:
+    def test_num_banks(self, mapping):
+        assert mapping.num_banks == 32
+
+    def test_decode_zero(self, mapping):
+        addr = mapping.decode(0)
+        assert addr.bank == 0
+        assert addr.row == 0
+        assert addr.subchannel == 0
+        assert addr.column == 0
+
+    def test_row_field(self, mapping):
+        decoded = mapping.decode(5 << 18)
+        assert decoded.row == 5
+
+    def test_bank_depends_on_row_bits(self, mapping):
+        # Bank hashes XOR a low bit with a row bit, so walking rows in
+        # the same 256 KB region changes the bank.
+        banks = {mapping.decode(row << 18).bank for row in range(32)}
+        assert len(banks) > 1
+
+    def test_negative_address_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            mapping.decode(-1)
+
+
+class TestCompose:
+    @given(
+        subchannel=st.integers(0, 1),
+        bank=st.integers(0, 31),
+        row=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_compose_decode_roundtrip(self, subchannel, bank, row):
+        mapping = CoffeeLakeMapping()
+        addr = mapping.compose(subchannel, bank, row)
+        decoded = mapping.decode(addr)
+        assert decoded.subchannel == subchannel
+        assert decoded.bank == bank
+        assert decoded.row == row
+
+    def test_compose_requires_fixup_bits(self):
+        bad = AddressMapping(bank_functions=[[20, 21]], subchannel_bits=[6])
+        with pytest.raises(ValueError):
+            bad.compose(0, 1, 0)
+
+
+class TestGenericMapping:
+    def test_single_bank_function(self):
+        mapping = AddressMapping(
+            bank_functions=[[13]], subchannel_bits=[6], row_shift=16, row_bits=8
+        )
+        assert mapping.num_banks == 2
+        assert mapping.decode(1 << 13).bank == 1
+        assert mapping.decode(0).bank == 0

@@ -1,0 +1,117 @@
+"""Tests for the workload performance front-end."""
+
+import pytest
+
+from repro.sim.perf import (
+    MoatRunConfig,
+    PerfResult,
+    average_alert_rate,
+    average_slowdown,
+    geometric_mean_performance,
+    run_suite,
+    run_workload,
+)
+from repro.workloads.generator import generate_schedule
+from repro.workloads.profiles import profile_by_name
+
+
+def small_config(**kwargs) -> MoatRunConfig:
+    defaults = dict(n_trefi=512, model_cross_bank_service=False)
+    defaults.update(kwargs)
+    return MoatRunConfig(**defaults)
+
+
+class TestRunWorkload:
+    def test_cold_workload_no_alerts(self):
+        result = run_workload(profile_by_name("tc"), small_config())
+        assert result.alerts == 0
+        assert result.slowdown == 0.0
+        assert result.normalized_performance == 1.0
+
+    def test_hot_workload_alerts_at_ath64(self):
+        result = run_workload(profile_by_name("roms"), small_config(ath=64))
+        assert result.alerts > 0
+        assert result.slowdown > 0.0
+
+    def test_ath128_quieter_than_ath64(self):
+        hot = profile_by_name("roms")
+        schedule = generate_schedule(hot, n_trefi=512, seed=0)
+        r64 = run_workload(hot, small_config(ath=64), schedule=schedule)
+        r128 = run_workload(hot, small_config(ath=128), schedule=schedule)
+        assert r128.alerts <= r64.alerts
+
+    def test_cross_bank_service_reduces_alerts(self):
+        hot = profile_by_name("roms")
+        schedule = generate_schedule(hot, n_trefi=512, seed=0)
+        alone = run_workload(hot, small_config(), schedule=schedule)
+        helped = run_workload(
+            hot,
+            MoatRunConfig(n_trefi=512, model_cross_bank_service=True),
+            schedule=schedule,
+        )
+        assert helped.alerts <= alone.alerts
+
+    def test_eth_default_is_half_ath(self):
+        result = run_workload(profile_by_name("tc"), small_config(ath=64))
+        assert result.eth == 32
+
+
+class TestMetrics:
+    def make(self, alerts=8, n_trefi=512, banks=1) -> PerfResult:
+        return PerfResult(
+            workload="x",
+            ath=64,
+            eth=32,
+            abo_level=1,
+            alerts=alerts,
+            n_trefi=n_trefi,
+            banks_simulated=banks,
+            banks_per_subchannel=32,
+            total_acts=1000,
+            mitigation_acts=23,
+            proactive_mitigations=10,
+            reactive_mitigations=alerts,
+            elapsed_ns=n_trefi * 3900.0,
+            stall_ns=alerts * 350.0,
+        )
+
+    def test_alerts_per_trefi_scaling(self):
+        result = self.make(alerts=8, n_trefi=512)
+        assert result.alerts_per_trefi == pytest.approx(8 * 32 / 512)
+
+    def test_slowdown_is_scaled_stall_fraction(self):
+        result = self.make(alerts=8, n_trefi=512)
+        expected = 8 * 350.0 * 32 / (512 * 3900.0)
+        assert result.slowdown == pytest.approx(expected)
+
+    def test_mitigations_per_trefw(self):
+        result = self.make(alerts=8, n_trefi=512)
+        # (10 proactive + 8 alerts) scaled from 1/16 window to full.
+        assert result.mitigations_per_trefw_per_bank == pytest.approx(18 * 16)
+
+    def test_activation_overhead(self):
+        assert self.make().activation_overhead == pytest.approx(0.023)
+
+
+class TestSuiteHelpers:
+    @pytest.fixture(scope="class")
+    def results(self):
+        profiles = [profile_by_name("tc"), profile_by_name("x264")]
+        return run_suite(profiles, small_config())
+
+    def test_run_suite_keys(self, results):
+        assert set(results) == {"tc", "x264"}
+
+    def test_gmean_of_quiet_suite_is_one(self, results):
+        assert geometric_mean_performance(results) == pytest.approx(1.0)
+
+    def test_average_slowdown(self, results):
+        assert average_slowdown(results) == pytest.approx(0.0)
+
+    def test_average_alert_rate(self, results):
+        assert average_alert_rate(results) == pytest.approx(0.0)
+
+    def test_empty_results(self):
+        assert geometric_mean_performance({}) == 1.0
+        assert average_slowdown({}) == 0.0
+        assert average_alert_rate({}) == 0.0

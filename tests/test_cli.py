@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_choices(self):
+        args = build_parser().parse_args(["attack", "jailbreak"])
+        assert args.name == "jailbreak"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "nonexistent"])
+
+
+class TestModelCommands:
+    def test_table2(self, capsys):
+        assert main(["model", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Feinting" in out
+        assert "2,198" in out or "2198" in out
+
+    def test_safe_trh(self, capsys):
+        assert main(["model", "safe-trh"]) == 0
+        out = capsys.readouterr().out
+        assert "99" in out
+
+    def test_throughput(self, capsys):
+        assert main(["model", "throughput"]) == 0
+        out = capsys.readouterr().out
+        assert "2.8x" in out
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_21(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "roms" in out and "ConnComp" in out
+        assert len([l for l in out.splitlines() if l.strip()]) >= 23
+
+
+class TestAttackCommands:
+    def test_postponement(self, capsys):
+        assert main(["attack", "postponement"]) == 0
+        out = capsys.readouterr().out
+        assert "329" in out
+
+    def test_ratchet_small(self, capsys):
+        assert main(["attack", "ratchet", "--pool", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ACTs on attack row" in out
+
+    def test_feinting_small(self, capsys):
+        assert main(["attack", "feinting", "--periods", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "feinting" in out
+
+
+class TestPerfCommand:
+    def test_quiet_workload(self, capsys):
+        assert main(["perf", "tc", "--trefi", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert "TriCount" in out

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; these tests keep them
+importable and executable (with reduced work where the scripts allow).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "address_level_hammer.py",
+    "provisioning_study.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_reports_safety():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "SAFE" in result.stdout
+
+
+def test_all_examples_compile():
+    for script in EXAMPLES.glob("*.py"):
+        source = script.read_text()
+        compile(source, str(script), "exec")
+    assert len(list(EXAMPLES.glob("*.py"))) >= 5

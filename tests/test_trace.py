@@ -1,0 +1,110 @@
+"""Tests for trace recording, persistence, and replay."""
+
+import pytest
+
+from repro.mitigations.moat import MoatPolicy
+from repro.mitigations.null import NullPolicy
+from repro.sim.engine import SimConfig, SubchannelSim
+from repro.trace import ActivationTrace, TraceRecorder, replay
+
+
+def small_sim(policy=NullPolicy) -> SubchannelSim:
+    return SubchannelSim(
+        SimConfig(rows_per_bank=1024, num_refresh_groups=128), policy
+    )
+
+
+class TestRecorder:
+    def test_records_events_in_order(self):
+        sim = small_sim()
+        recorder = TraceRecorder(sim, metadata={"attack": "demo"})
+        for row in (1, 2, 1):
+            sim.activate(row)
+        trace = recorder.stop()
+        assert len(trace) == 3
+        assert [row for _, _, row in trace] == [1, 2, 1]
+        times = [t for t, _, _ in trace]
+        assert times == sorted(times)
+        assert trace.metadata == {"attack": "demo"}
+
+    def test_stop_detaches(self):
+        sim = small_sim()
+        recorder = TraceRecorder(sim)
+        sim.activate(1)
+        recorder.stop()
+        sim.activate(2)
+        assert len(recorder.trace) == 1
+
+    def test_rows_touched(self):
+        trace = ActivationTrace(events=[(0.0, 0, 5), (52.0, 0, 5), (104.0, 0, 7)])
+        assert trace.rows_touched() == {5: 2, 7: 1}
+
+    def test_duration(self):
+        trace = ActivationTrace(events=[(0.0, 0, 1), (99.0, 0, 2)])
+        assert trace.duration_ns == 99.0
+        assert ActivationTrace().duration_ns == 0.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = ActivationTrace(
+            events=[(0.0, 0, 5), (52.0, 1, 9)], metadata={"seed": 3}
+        )
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = ActivationTrace.load(path)
+        assert loaded.events == trace.events
+        assert loaded.metadata == {"seed": 3}
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"hello": 1}\n')
+        with pytest.raises(ValueError):
+            ActivationTrace.load(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            ActivationTrace.load(path)
+
+
+class TestReplay:
+    def test_replay_reproduces_counters(self):
+        sim = small_sim()
+        recorder = TraceRecorder(sim)
+        for _ in range(10):
+            sim.activate(7)
+        trace = recorder.stop()
+
+        fresh = small_sim()
+        replay(trace, fresh)
+        assert fresh.bank.prac_count(7) == 10
+        assert fresh.total_acts == 10
+
+    def test_replay_honors_idle_gaps(self):
+        sim = small_sim()
+        recorder = TraceRecorder(sim)
+        sim.activate(1)
+        sim.idle(50_000.0)
+        sim.activate(1)
+        trace = recorder.stop()
+
+        fresh = small_sim()
+        replay(trace, fresh, honor_timing=True)
+        assert fresh.now >= 50_000.0
+
+    def test_replay_against_different_policy(self):
+        """Record against an unprotected bank, replay against MOAT: the
+        same stream now triggers ALERTs."""
+        sim = small_sim()
+        recorder = TraceRecorder(sim)
+        for _ in range(200):
+            sim.activate(7)
+        trace = recorder.stop()
+        assert sim.alerts == 0
+
+        protected = small_sim(lambda: MoatPolicy(ath=64))
+        replay(trace, protected)
+        assert protected.alerts >= 2
+        assert protected.bank.max_danger <= 99

@@ -1,0 +1,84 @@
+"""Tests for the synthetic activation-stream generator."""
+
+import pytest
+
+from repro.workloads.generator import generate_schedule, measure_characteristics
+from repro.workloads.profiles import profile_by_name
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def roms_schedule(self):
+        return generate_schedule(profile_by_name("roms"), n_trefi=8192, seed=0)
+
+    def test_hot_row_counts_match_table4(self, roms_schedule):
+        profile = profile_by_name("roms")
+        chars = measure_characteristics(roms_schedule)
+        assert chars["act_32_plus"] == pytest.approx(profile.act_32_plus, rel=0.05)
+        assert chars["act_64_plus"] == pytest.approx(profile.act_64_plus, rel=0.05)
+        assert chars["act_128_plus"] == pytest.approx(profile.act_128_plus, rel=0.05)
+
+    def test_total_acts_at_least_pki_budget(self, roms_schedule):
+        # The hot-row histogram is authoritative: for several Table 4
+        # workloads the hot rows alone imply more activations than the
+        # ACT-PKI budget, so the generator treats PKI as a floor.
+        profile = profile_by_name("roms")
+        budget = profile.acts_per_trefi_per_bank() * 8192
+        assert roms_schedule.total_acts >= 0.98 * budget
+
+    def test_cold_traffic_fills_pki_budget(self):
+        # bwaves has few hot activations relative to its PKI: the cold
+        # tail must fill the difference.
+        profile = profile_by_name("bwaves")
+        schedule = generate_schedule(profile, n_trefi=2048, seed=0)
+        budget = profile.acts_per_trefi_per_bank() * 2048
+        assert schedule.total_acts == pytest.approx(budget, rel=0.03)
+
+    def test_scaled_window_preserves_rates(self):
+        profile = profile_by_name("mcf")
+        quarter = generate_schedule(profile, n_trefi=2048, seed=0)
+        chars = measure_characteristics(quarter)
+        # Counts are scaled back to a full window for comparison.
+        assert chars["act_64_plus"] == pytest.approx(profile.act_64_plus, rel=0.25)
+
+
+class TestStructure:
+    def test_per_trefi_length(self):
+        schedule = generate_schedule(profile_by_name("tc"), n_trefi=512, seed=0)
+        assert schedule.n_trefi == 512
+        assert len(schedule.per_trefi) == 512
+
+    def test_deterministic_for_seed(self):
+        a = generate_schedule(profile_by_name("gcc"), n_trefi=512, seed=3)
+        b = generate_schedule(profile_by_name("gcc"), n_trefi=512, seed=3)
+        assert a.per_trefi == b.per_trefi
+
+    def test_different_seeds_differ(self):
+        a = generate_schedule(profile_by_name("gcc"), n_trefi=512, seed=3)
+        b = generate_schedule(profile_by_name("gcc"), n_trefi=512, seed=4)
+        assert a.per_trefi != b.per_trefi
+
+    def test_planned_counts_sum_matches_stream(self):
+        schedule = generate_schedule(profile_by_name("bc"), n_trefi=512, seed=0)
+        streamed = sum(len(rows) for rows in schedule.per_trefi)
+        assert streamed == schedule.total_acts
+
+    def test_rows_within_bank(self):
+        schedule = generate_schedule(
+            profile_by_name("x264"), n_trefi=256, seed=0, rows_per_bank=4096
+        )
+        for rows in schedule.per_trefi:
+            assert all(0 <= row < 4096 for row in rows)
+
+    def test_n_trefi_positive(self):
+        with pytest.raises(ValueError):
+            generate_schedule(profile_by_name("tc"), n_trefi=0)
+
+
+class TestBurstPacing:
+    def test_no_interval_wildly_over_capacity(self):
+        """Generated load per tREFI stays near the 67-ACT bank budget
+        (small excursions are absorbed by engine backpressure)."""
+        schedule = generate_schedule(profile_by_name("bwaves"), n_trefi=2048, seed=0)
+        overloaded = sum(1 for rows in schedule.per_trefi if len(rows) > 3 * 67)
+        assert overloaded / schedule.n_trefi < 0.02

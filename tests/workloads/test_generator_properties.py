@@ -1,0 +1,58 @@
+"""Property-based tests for the workload generator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.generator import generate_schedule, measure_characteristics
+from repro.workloads.profiles import WorkloadProfile
+
+profiles = st.builds(
+    lambda pki, n128, n64, n32: WorkloadProfile(
+        name=f"synthetic-{pki}-{n32}-{n64}-{n128}",
+        suite="spec",
+        act_pki=pki,
+        act_32_plus=n32 + n64 + n128,
+        act_64_plus=n64 + n128,
+        act_128_plus=n128,
+    ),
+    pki=st.floats(min_value=0.5, max_value=30.0),
+    n128=st.integers(min_value=0, max_value=50),
+    n64=st.integers(min_value=0, max_value=100),
+    n32=st.integers(min_value=0, max_value=200),
+)
+
+
+class TestGeneratorProperties:
+    @given(profile=profiles, seed=st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_stream_matches_plan(self, profile, seed):
+        schedule = generate_schedule(profile, n_trefi=1024, seed=seed)
+        streamed = sum(len(rows) for rows in schedule.per_trefi)
+        assert streamed == schedule.total_acts
+        assert streamed == sum(schedule.planned_row_acts.values())
+
+    @given(profile=profiles)
+    @settings(max_examples=15, deadline=None)
+    def test_histogram_order_preserved(self, profile):
+        schedule = generate_schedule(profile, n_trefi=8192, seed=0)
+        chars = measure_characteristics(schedule)
+        assert chars["act_32_plus"] >= chars["act_64_plus"] >= chars["act_128_plus"]
+
+    @given(profile=profiles, seed=st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_full_window_calibration(self, profile, seed):
+        schedule = generate_schedule(profile, n_trefi=8192, seed=seed)
+        chars = measure_characteristics(schedule)
+        # Hot-row histogram within a few rows of the profile at full
+        # window (cold traffic can only add, never remove, hot rows —
+        # and the permutation draw prevents additions).
+        assert abs(chars["act_128_plus"] - profile.act_128_plus) <= 3
+        assert abs(chars["act_64_plus"] - profile.act_64_plus) <= 6
+        assert abs(chars["act_32_plus"] - profile.act_32_plus) <= 12
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_hot_profile_is_all_cold(self, seed):
+        profile = WorkloadProfile("cold", "spec", 5.0, 0, 0, 0)
+        schedule = generate_schedule(profile, n_trefi=1024, seed=seed)
+        chars = measure_characteristics(schedule)
+        assert chars["act_32_plus"] == 0

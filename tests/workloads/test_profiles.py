@@ -1,0 +1,66 @@
+"""Tests for the Table 4 workload profiles."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    TABLE4_PROFILES,
+    WorkloadProfile,
+    average_profile,
+    profile_by_name,
+)
+
+
+class TestTable4Data:
+    def test_21_workloads(self):
+        assert len(TABLE4_PROFILES) == 21
+
+    def test_15_spec_6_gap(self):
+        suites = [p.suite for p in TABLE4_PROFILES]
+        assert suites.count("spec") == 15
+        assert suites.count("gap") == 6
+
+    def test_roms_row(self):
+        roms = profile_by_name("roms")
+        assert roms.act_pki == 9.6
+        assert (roms.act_32_plus, roms.act_64_plus, roms.act_128_plus) == (
+            2302,
+            995,
+            431,
+        )
+
+    def test_gap_display_names(self):
+        assert profile_by_name("cc").display_name == "ConnComp"
+        assert profile_by_name("ConnComp").name == "cc"
+
+    def test_hot_row_counts_non_increasing(self):
+        for profile in TABLE4_PROFILES:
+            assert profile.act_32_plus >= profile.act_64_plus >= profile.act_128_plus
+
+    def test_average_row_matches_paper(self):
+        avg = average_profile()
+        # Table 4 'Average' row: 14.4 PKI, 1506/417/106 hot rows.
+        assert avg.act_pki == pytest.approx(14.4, abs=0.1)
+        assert avg.act_32_plus == pytest.approx(1506, abs=2)
+        assert avg.act_64_plus == pytest.approx(417, abs=2)
+        assert avg.act_128_plus == pytest.approx(106, abs=2)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            profile_by_name("doom")
+
+
+class TestRates:
+    def test_acts_per_ns(self):
+        # bwaves: 29.3 PKI at 32 instructions/ns.
+        assert profile_by_name("bwaves").acts_per_ns() == pytest.approx(0.9376)
+
+    def test_acts_per_trefi_per_bank(self):
+        rate = profile_by_name("bwaves").acts_per_trefi_per_bank()
+        # Must fit within the 67-ACT bank capacity (Section 2.2).
+        assert 50 < rate < 67
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", "spec", -1.0, 10, 5, 1)
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", "spec", 1.0, 5, 10, 1)
