@@ -3,14 +3,25 @@
 Each benchmark regenerates one table or figure of the paper, prints a
 paper-vs-measured comparison (bypassing pytest capture so it is visible
 in normal runs), and appends it to ``benchmarks/results/summary.txt``.
+Benchmarks that emit machine-readable metrics additionally merge them
+into ``benchmarks/results/summary.json`` (via the ``record_json``
+fixture), so the perf trajectory is diffable in CI alongside the
+``BENCH_sweep_*.json`` artifacts.
 
 Scale: set ``REPRO_FAST=1`` to use a reduced workload subset and a half
 refresh window for the performance sweeps (about 4x faster, same
-qualitative results).
+qualitative results). ``REPRO_JOBS`` sets the sweep-runner worker count
+(default: CPU count).
+
+The grid-shaped benchmarks (Figure 11, Table 5) run on the
+:mod:`repro.sweep` runner and share its on-disk point cache (the
+repo-root ``.repro-cache/sweep``, same as the ``repro sweep`` CLI),
+so re-runs resume instead of recomputing.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import Dict, List
@@ -18,29 +29,41 @@ from typing import Dict, List
 import pytest
 
 from repro.sim.perf import MoatRunConfig, PerfResult, run_workload
+from repro.sweep.artifacts import git_revision, utc_now
+from repro.sweep.runner import DEFAULT_CACHE_DIR, SweepResult, run_sweep
+from repro.sweep.spec import SWEEP_WORKLOADS as _SWEEP_WORKLOADS
+from repro.sweep.spec import SweepSpec
 from repro.workloads.generator import ActivationSchedule, generate_schedule
 from repro.workloads.profiles import TABLE4_PROFILES, WorkloadProfile
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: On-disk sweep point cache shared by the grid-shaped benchmarks —
+#: the same location `repro sweep` defaults to when run from the repo
+#: root, so CLI sweeps and benchmark runs reuse each other's points.
+#: Cache identity is the point config hash plus RESULT_VERSION (in
+#: repro/sweep/spec.py); bump that constant whenever simulator or
+#: generator semantics change, or stale points will be replayed.
+SWEEP_CACHE_DIR = pathlib.Path(__file__).parent.parent / DEFAULT_CACHE_DIR
+
 FAST = os.environ.get("REPRO_FAST", "") not in ("", "0")
+
+#: Worker processes for the sweep-runner-backed benchmarks. An unset,
+#: empty, or non-numeric REPRO_JOBS falls back to the CPU count
+#: (like REPRO_FAST, malformed means "not set").
+try:
+    N_JOBS = int(os.environ.get("REPRO_JOBS") or 0)
+except ValueError:
+    N_JOBS = 0
+N_JOBS = N_JOBS or (os.cpu_count() or 1)
 
 #: Window length for performance sweeps.
 N_TREFI = 4096 if FAST else 8192
 
 #: Representative subset for the parameter-sweep tables (the hottest
 #: workloads plus quiet controls); the figure benchmarks use all 21.
-SWEEP_WORKLOADS = [
-    "roms",
-    "parest",
-    "xz",
-    "lbm",
-    "mcf",
-    "cactuBSSN",
-    "bwaves",
-    "sssp",
-    "tc",
-]
+#: Canonically defined next to the sweep presets.
+SWEEP_WORKLOADS = list(_SWEEP_WORKLOADS)
 
 
 @pytest.fixture
@@ -55,6 +78,42 @@ def report(capsys):
             print("\n" + text)
 
     return _report
+
+
+@pytest.fixture
+def record_json(request):
+    """Merge one benchmark's metrics into ``results/summary.json``.
+
+    Each call replaces the entry under the benchmark's key with the
+    latest measurement (stamped with time and git revision), keeping
+    the file a current, machine-diffable snapshot rather than an
+    append-only log (that is ``summary.txt``'s job).
+    """
+
+    def _record(payload: Dict[str, object], key: str = "") -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "summary.json"
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+        if not isinstance(data, dict):  # self-heal hand-edited files
+            data = {}
+        data[key or request.node.name] = {
+            "recorded_utc": utc_now(),
+            "git_rev": git_revision(),
+            "n_trefi": N_TREFI,
+            "fast_mode": FAST,
+            **payload,
+        }
+        path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+
+    return _record
+
+
+def run_grid(spec: SweepSpec) -> SweepResult:
+    """Run a sweep spec with the benchmark-level scale applied."""
+    return run_sweep(spec, jobs=N_JOBS, cache_dir=SWEEP_CACHE_DIR)
 
 
 class ScheduleCache:

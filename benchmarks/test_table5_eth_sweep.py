@@ -3,32 +3,38 @@
 Lower ETH means more rows are eligible for proactive mitigation (more
 energy); higher ETH starves the proactive path and pushes work onto
 ALERTs (more slowdown). ETH = ATH/2 = 32 is the paper's balance point.
+
+Runs on the ``repro.sweep`` parallel runner (the ``table5`` preset at
+benchmark scale), sharing the point cache with ``repro sweep table5``.
 """
 
-from benchmarks.conftest import run_one, sweep_profiles
+from benchmarks.conftest import N_TREFI, run_grid, sweep_profiles
 from repro.report.paper_values import TABLE5_ETH
 from repro.report.tables import format_table
+from repro.sweep.spec import PRESETS
 
 ETH_VALUES = [0, 16, 32, 48]
 
 
-def test_table5_eth_sweep(benchmark, report, schedules):
+def test_table5_eth_sweep(benchmark, report, record_json):
     profiles = sweep_profiles()
+    spec = PRESETS["table5"].with_overrides(
+        n_trefi=N_TREFI, workloads=tuple(p.name for p in profiles)
+    )
+    assert sorted(spec.eth) == sorted(ETH_VALUES)
 
-    def sweep():
-        table = {}
-        for eth in ETH_VALUES:
-            results = [
-                run_one(p, schedules, ath=64, eth=eth) for p in profiles
-            ]
-            mitigations = sum(
-                r.mitigations_per_trefw_per_bank for r in results
-            ) / len(results)
-            slowdown = sum(r.slowdown for r in results) / len(results)
-            table[eth] = (mitigations, slowdown)
-        return table
+    result = benchmark.pedantic(lambda: run_grid(spec), rounds=1, iterations=1)
 
-    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = {}
+    for eth in ETH_VALUES:
+        metrics = [r.metrics for r in result.results if r.eth == eth]
+        assert len(metrics) == len(profiles)
+        mitigations = sum(
+            m["mitigations_per_trefw_per_bank"] for m in metrics
+        ) / len(metrics)
+        slowdown = sum(m["slowdown"] for m in metrics) / len(metrics)
+        table[eth] = (mitigations, slowdown)
+
     rows = [
         (
             eth,
@@ -45,6 +51,19 @@ def test_table5_eth_sweep(benchmark, report, schedules):
             rows,
             title="Table 5 - ETH sweep at ATH=64 (sweep subset; paper averages all 21)",
         )
+    )
+    record_json(
+        {
+            "mitigations_per_trefw_by_eth": {
+                str(eth): table[eth][0] for eth in ETH_VALUES
+            },
+            "slowdown_by_eth": {str(eth): table[eth][1] for eth in ETH_VALUES},
+            "sweep_hash": spec.sweep_hash(),
+            "wall_clock_s": result.wall_clock_s,
+            "compute_time_s": result.compute_time_s,
+            "cache_hits": result.cache_hits,
+        },
+        key="table5",
     )
     # Shape assertions: mitigation volume decreases monotonically with
     # ETH, and ETH=0 does the most proactive work.

@@ -36,10 +36,17 @@ from repro.mitigations import (
     NullPolicy,
     PanopticonPolicy,
     ParaPolicy,
+    PolicySpec,
     TrrTracker,
 )
 from repro.sim import SimConfig, SubchannelSim
-from repro.sim.perf import MoatRunConfig, PerfResult, run_workload, run_suite
+from repro.sim.perf import (
+    MoatRunConfig,
+    PerfResult,
+    RunConfig,
+    run_suite,
+    run_workload,
+)
 from repro.trace import ActivationTrace, TraceRecorder, replay
 from repro.workloads import TABLE4_PROFILES, WorkloadProfile, profile_by_name
 
@@ -65,6 +72,8 @@ __all__ = [
     "SubchannelSim",
     "MoatRunConfig",
     "PerfResult",
+    "PolicySpec",
+    "RunConfig",
     "run_workload",
     "run_suite",
     "ActivationTrace",

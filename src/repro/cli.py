@@ -1,9 +1,12 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
 
 Commands:
 
 * ``attack`` — run one of the paper's attacks and print the result.
-* ``perf`` — evaluate MOAT on a Table 4 workload.
+* ``perf`` — evaluate a mitigation policy on a Table 4 workload.
+* ``sweep`` — run a named experiment grid (paper figure/table presets)
+  in parallel, emit a ``BENCH_sweep.json`` artifact, and optionally
+  gate against a committed baseline (``--check``).
 * ``model`` — print an analytical model's table (Table 2, Figure 10,
   Table 7 Safe-TRH, Section 7 throughput).
 * ``workloads`` — list the Table 4 profiles.
@@ -12,7 +15,9 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.feinting_model import feinting_table
@@ -29,8 +34,20 @@ from repro.attacks import (
     run_tsa,
 )
 from repro.attacks.base import AttackResult
+from repro.mitigations.registry import PolicySpec, policy_kinds
 from repro.report.tables import format_table
-from repro.sim.perf import MoatRunConfig, run_workload
+from repro.sim.perf import RunConfig, run_workload
+from repro.sweep.artifacts import (
+    DEFAULT_ATOL,
+    DEFAULT_RTOL,
+    check_against_baseline,
+    default_baseline_path,
+    git_toplevel,
+    make_artifact,
+    write_artifact,
+)
+from repro.sweep.runner import DEFAULT_CACHE_DIR, run_sweep
+from repro.sweep.spec import PRESETS, preset
 from repro.workloads.profiles import TABLE4_PROFILES, profile_by_name
 
 
@@ -65,10 +82,11 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 def _cmd_perf(args: argparse.Namespace) -> int:
     profile = profile_by_name(args.workload)
-    config = MoatRunConfig(
+    config = RunConfig(
         ath=args.ath,
         eth=args.eth,
         abo_level=args.level,
+        policy=PolicySpec(args.policy),
         n_trefi=args.trefi,
     )
     result = run_workload(profile, config)
@@ -79,9 +97,113 @@ def _cmd_perf(args: argparse.Namespace) -> int:
          f"{result.mitigations_per_trefw_per_bank:.0f}"),
         ("activation overhead", f"{result.activation_overhead:.2%}"),
     ]
-    title = (f"{profile.display_name} under MOAT-L{args.level} "
+    title = (f"{profile.display_name} under {result.policy}-L{args.level} "
              f"(ATH={args.ath}, ETH={result.eth})")
     print(format_table(["metric", "value"], rows, title=title))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [
+            (spec.name, len(spec.points()), spec.description)
+            for spec in PRESETS.values()
+        ]
+        print(format_table(["preset", "points", "description"], rows,
+                           title="Sweep presets"))
+        return 0
+    if not args.preset:
+        print("error: a preset name (or --list) is required", file=sys.stderr)
+        return 2
+    try:
+        spec = preset(args.preset)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.trefi is not None and args.trefi <= 0:
+        print("error: --trefi must be positive", file=sys.stderr)
+        return 2
+    workloads = tuple(args.workloads.split(",")) if args.workloads else None
+    try:
+        spec = spec.with_overrides(
+            n_trefi=args.trefi, seed=args.seed, workloads=workloads
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    progress = None
+    if not args.quiet:
+        progress = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
+    cache_dir = None if args.no_cache else Path(args.cache_dir)
+    result = run_sweep(spec, jobs=args.jobs, cache_dir=cache_dir, progress=progress)
+
+    rows = [
+        (
+            r.workload,
+            r.policy,
+            r.ath,
+            r.eth,
+            f"L{r.abo_level}",
+            f"{r.metrics['slowdown'] * 100:.3f}%",
+            f"{r.metrics['alerts_per_trefi']:.4f}",
+            "hit" if r.cached else f"{r.wall_clock_s:.1f}s",
+        )
+        for r in result.results
+    ]
+    agg = result.aggregates()
+    rows.append(
+        (
+            "AVERAGE",
+            "",
+            "",
+            "",
+            "",
+            f"{agg['avg_slowdown'] * 100:.3f}%",
+            f"{agg['avg_alerts_per_trefi']:.4f}",
+            f"{result.wall_clock_s:.1f}s",
+        )
+    )
+    print(
+        format_table(
+            ["workload", "policy", "ATH", "ETH", "level",
+             "slowdown", "ALERT/tREFI", "time"],
+            rows,
+            title=f"Sweep {spec.name} (n_trefi={spec.n_trefi}, "
+            f"jobs={args.jobs}, {result.cache_hits} cached)",
+        )
+    )
+
+    artifact = make_artifact(result)
+    out_path = Path(args.out) if args.out else Path(f"BENCH_sweep_{spec.name}.json")
+    write_artifact(out_path, artifact)
+    print(f"artifact: {out_path}", file=sys.stderr)
+
+    if args.baseline:
+        baseline = Path(args.baseline)
+    else:
+        # Committed baselines live in the repo; anchor at the git
+        # toplevel so the installed `repro` script finds them from
+        # any working directory inside the checkout.
+        baseline = default_baseline_path(spec.name)
+        if not baseline.is_file():
+            toplevel = git_toplevel()
+            if toplevel is not None:
+                baseline = default_baseline_path(spec.name, root=toplevel)
+    if args.write_baseline:
+        write_artifact(baseline, artifact)
+        print(f"baseline written: {baseline}", file=sys.stderr)
+        return 0
+    if args.check:
+        ok, problems = check_against_baseline(
+            artifact, baseline, rtol=args.rtol, atol=args.atol
+        )
+        if not ok:
+            print(f"BASELINE CHECK FAILED ({baseline}):", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({baseline})", file=sys.stderr)
     return 0
 
 
@@ -146,14 +268,57 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--banks", type=int, default=4, help="TSA bank count")
     attack.set_defaults(func=_cmd_attack)
 
-    perf = sub.add_parser("perf", help="evaluate MOAT on a workload")
+    perf = sub.add_parser("perf", help="evaluate a mitigation policy on a workload")
     perf.add_argument("workload", help="Table 4 workload name (see 'workloads')")
     perf.add_argument("--ath", type=int, default=64)
     perf.add_argument("--eth", type=int, default=None)
     perf.add_argument("--level", type=int, default=1, choices=[1, 2, 4])
+    perf.add_argument("--policy", choices=sorted(policy_kinds()), default="moat",
+                      help="mitigation policy (default: moat)")
     perf.add_argument("--trefi", type=int, default=4096,
                       help="simulated tREFI intervals (8192 = full window)")
     perf.set_defaults(func=_cmd_perf)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a paper figure/table experiment grid in parallel",
+    )
+    sweep.add_argument("preset", nargs="?", default=None,
+                       help="preset name (see --list)")
+    sweep.add_argument("--list", action="store_true",
+                       help="list available presets and exit")
+    sweep.add_argument("--jobs", type=int, default=max(1, os.cpu_count() or 1),
+                       help="worker processes (default: CPU count)")
+    sweep.add_argument("--trefi", type=int, default=None,
+                       help="override simulated tREFI intervals "
+                       "(512 = smoke scale, 8192 = full window)")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="override the sweep seed")
+    sweep.add_argument("--workloads", default=None,
+                       help="comma-separated workload subset override")
+    sweep.add_argument("--out", default=None,
+                       help="artifact path (default: BENCH_sweep_<preset>.json)")
+    gate = sweep.add_mutually_exclusive_group()
+    gate.add_argument("--check", action="store_true",
+                      help="diff against the committed baseline; "
+                      "exit 1 on regression")
+    gate.add_argument("--write-baseline", action="store_true",
+                      help="write this run as the new baseline "
+                      "(mutually exclusive with --check)")
+    sweep.add_argument("--baseline", default=None,
+                       help="baseline path (default: "
+                       "benchmarks/baselines/<preset>.json)")
+    sweep.add_argument("--rtol", type=float, default=DEFAULT_RTOL,
+                       help="relative metric tolerance for --check")
+    sweep.add_argument("--atol", type=float, default=DEFAULT_ATOL,
+                       help="absolute metric tolerance for --check")
+    sweep.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                       help="per-point result cache directory")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the per-point result cache")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress on stderr")
+    sweep.set_defaults(func=_cmd_sweep)
 
     model = sub.add_parser("model", help="print an analytical model table")
     model.add_argument("name", choices=["table2", "safe-trh", "throughput"])
@@ -167,7 +332,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early. Exit with
+        # the conventional SIGPIPE status (not 0: the command may have
+        # been cut short before e.g. a --check gate ran).
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

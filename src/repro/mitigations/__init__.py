@@ -25,6 +25,7 @@ from repro.mitigations.moat import MoatPolicy, TrackerEntry
 from repro.mitigations.null import NullPolicy
 from repro.mitigations.panopticon import PanopticonPolicy
 from repro.mitigations.para import ParaPolicy
+from repro.mitigations.registry import PolicySpec, RunParams, policy_kinds
 from repro.mitigations.trr import TrrTracker
 from repro.mitigations.victim_counter import VictimCounterPolicy
 
@@ -36,7 +37,10 @@ __all__ = [
     "NullPolicy",
     "PanopticonPolicy",
     "ParaPolicy",
+    "PolicySpec",
+    "RunParams",
     "TrrTracker",
+    "policy_kinds",
     "VictimCounterPolicy",
     "graphene_entries_required",
     "graphene_sram_bytes",

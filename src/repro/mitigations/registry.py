@@ -1,0 +1,199 @@
+"""Declarative mitigation-policy specifications.
+
+The performance front-end and the sweep runner describe a policy as a
+:class:`PolicySpec` — a picklable ``(kind, params)`` pair — instead of
+a factory closure, so run configurations can cross process boundaries
+(``ProcessPoolExecutor`` workers), be hashed into cache keys, and be
+serialized into sweep artifacts. :meth:`PolicySpec.make_factory` turns
+a spec back into the zero-argument per-bank factory the simulator
+expects, resolving run-level parameters (ATH, ETH, ABO level, seed)
+from the run configuration at build time.
+
+Registered kinds and their run-parameter mapping:
+
+========== ============================================================
+``moat``       ``MoatPolicy(ath, eth, level)`` from the run config.
+``panopticon`` ``PanopticonPolicy``; ``queue_threshold`` defaults to
+               the largest power of two <= ATH.
+``para``       ``ParaPolicy``; per-bank RNG derived from the run seed.
+``trr``        ``TrrTracker``; ``mitigation_threshold`` defaults to
+               ETH (the proactive-eligibility threshold).
+``graphene``   Securely sized Misra-Gries tracker for ``trh``
+               (default ``2 * ath``).
+``victim-counter`` ``VictimCounterPolicy``; proactive threshold ETH.
+``null``       ``NullPolicy`` (unprotected baseline).
+========== ============================================================
+
+Each kind also carries the proactive-mitigation cadence it needs
+(``trefi_per_mitigation``): 5 for MOAT (4 victim refreshes plus the
+counter-reset ACT), 4 for Panopticon, 1 for the inline/streaming
+designs, 0 (disabled) for the null baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from repro.mitigations.base import MitigationPolicy
+from repro.mitigations.graphene import make_graphene
+from repro.mitigations.moat import MoatPolicy
+from repro.mitigations.null import NullPolicy
+from repro.mitigations.panopticon import PanopticonPolicy
+from repro.mitigations.para import ParaPolicy
+from repro.mitigations.trr import TrrTracker
+from repro.mitigations.victim_counter import VictimCounterPolicy
+
+
+@dataclass(frozen=True)
+class RunParams:
+    """Run-level parameters a policy builder may consume.
+
+    Decouples the registry from the perf front-end's ``RunConfig``
+    (which also carries simulation-scale knobs the builders never
+    read).
+    """
+
+    ath: int = 64
+    eth: int = 32
+    abo_level: int = 1
+    seed: int = 0
+    timing: Any = None
+
+
+#: A builder maps (run params, per-bank instance index, **spec params)
+#: to a fresh policy instance.
+PolicyBuilder = Callable[..., MitigationPolicy]
+
+
+@dataclass(frozen=True)
+class _PolicyKind:
+    name: str
+    builder: PolicyBuilder
+    #: Default REF periods per completed proactive mitigation.
+    trefi_per_mitigation: int
+
+
+def _build_moat(run: RunParams, index: int, **params: Any) -> MitigationPolicy:
+    return MoatPolicy(
+        ath=params.get("ath", run.ath),
+        eth=params.get("eth", run.eth),
+        level=params.get("level", run.abo_level),
+    )
+
+
+def _floor_pow2(value: int) -> int:
+    return 1 << (max(1, value).bit_length() - 1)
+
+
+def _build_panopticon(run: RunParams, index: int, **params: Any) -> MitigationPolicy:
+    return PanopticonPolicy(
+        queue_threshold=params.get("queue_threshold", _floor_pow2(run.ath)),
+        queue_entries=params.get("queue_entries", 8),
+        drain_all_on_ref=params.get("drain_all_on_ref", False),
+    )
+
+
+def _build_para(run: RunParams, index: int, **params: Any) -> MitigationPolicy:
+    # Deterministic per-bank stream: same (seed, bank index) => same
+    # mitigation choices, independent of execution order or process.
+    rng = random.Random((run.seed + 1) * 0x9E3779B9 + index)
+    return ParaPolicy(probability=params.get("probability", 0.001), rng=rng)
+
+
+def _build_trr(run: RunParams, index: int, **params: Any) -> MitigationPolicy:
+    return TrrTracker(
+        entries=params.get("entries", 16),
+        mitigation_threshold=params.get("mitigation_threshold", max(1, run.eth)),
+    )
+
+
+def _build_graphene(run: RunParams, index: int, **params: Any) -> MitigationPolicy:
+    kwargs: Dict[str, Any] = {"trh": params.get("trh", 2 * run.ath)}
+    if run.timing is not None:
+        kwargs["timing"] = run.timing
+    return make_graphene(**kwargs)
+
+
+def _build_victim_counter(run: RunParams, index: int, **params: Any) -> MitigationPolicy:
+    return VictimCounterPolicy(
+        blast_radius=params.get("blast_radius", 2),
+        eth=params.get("eth", run.eth),
+    )
+
+
+def _build_null(run: RunParams, index: int, **params: Any) -> MitigationPolicy:
+    return NullPolicy()
+
+
+_REGISTRY: Dict[str, _PolicyKind] = {
+    kind.name: kind
+    for kind in (
+        _PolicyKind("moat", _build_moat, 5),
+        _PolicyKind("panopticon", _build_panopticon, 4),
+        _PolicyKind("para", _build_para, 1),
+        _PolicyKind("trr", _build_trr, 1),
+        _PolicyKind("graphene", _build_graphene, 1),
+        _PolicyKind("victim-counter", _build_victim_counter, 5),
+        _PolicyKind("null", _build_null, 0),
+    )
+}
+
+
+def policy_kinds() -> Tuple[str, ...]:
+    """Registered policy kind names."""
+    return tuple(_REGISTRY)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Declarative, hashable, picklable policy description.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so two
+    specs with the same parameters compare (and hash) equal regardless
+    of construction order. Use :meth:`of` to build one from kwargs.
+    """
+
+    kind: str = "moat"
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _REGISTRY:
+            raise ValueError(
+                f"unknown policy kind {self.kind!r}; "
+                f"known: {', '.join(sorted(_REGISTRY))}"
+            )
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    @staticmethod
+    def of(kind: str, **params: Any) -> "PolicySpec":
+        return PolicySpec(kind, tuple(sorted(params.items())))
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def default_trefi_per_mitigation(self) -> int:
+        return _REGISTRY[self.kind].trefi_per_mitigation
+
+    def display_name(self) -> str:
+        if not self.params:
+            return self.kind
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}({inner})"
+
+    def make_factory(self, run: RunParams) -> Callable[[], MitigationPolicy]:
+        """Zero-argument per-bank policy factory for the simulator.
+
+        Successive calls get increasing instance indices, so stateful
+        randomness (PARA) stays deterministic per bank.
+        """
+        kind = _REGISTRY[self.kind]
+        params = self.param_dict()
+        counter = iter(range(1 << 30))
+
+        def factory() -> MitigationPolicy:
+            return kind.builder(run, next(counter), **params)
+
+        return factory

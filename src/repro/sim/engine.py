@@ -130,6 +130,22 @@ class SubchannelSim:
         self.policies: List[MitigationPolicy] = [
             policy_factory() for _ in range(config.num_banks)
         ]
+        # Per-policy feature probes, hoisted out of the per-ACT/per-REF
+        # hot paths (policies declare these as class or __init__-time
+        # attributes, so sampling them once is safe).
+        self._wants_ref_rows: List[bool] = [
+            bool(getattr(p, "wants_refresh_notifications", False))
+            for p in self.policies
+        ]
+        self._proactive_batch: List[int] = [
+            int(getattr(p, "proactive_batch", 1)) for p in self.policies
+        ]
+        self._direct_refresh: List[bool] = [
+            bool(getattr(p, "mitigation_refreshes_row_directly", False))
+            for p in self.policies
+        ]
+        self._t_rc = timing.t_rc
+        self._t_issue_gap = config.t_issue_gap
         self.abo = AboProtocol(AboConfig(level=config.abo_level, timing=timing))
         self.now = 0.0
         self._channel_free = 0.0
@@ -176,9 +192,9 @@ class SubchannelSim:
             policy.alert_requested = False
             self.abo.request_alert()
 
-        complete = start + self.timing.t_rc
+        complete = start + self._t_rc
         self.now = start
-        self._channel_free = start + self.config.t_issue_gap
+        self._channel_free = start + self._t_issue_gap
         self._bank_free[bank] = complete
 
         # ALERT asserts during the precharge of the triggering ACT.
@@ -243,11 +259,11 @@ class SubchannelSim:
             episode_due = (
                 episode is not None
                 and not episode.processed
-                and start + self.timing.t_rc > episode.window_end
+                and start + self._t_rc > episode.window_end
             )
             # An ACT must complete before a due REF starts (the bank is
             # precharged for refresh), so an overlap defers the ACT.
-            ref_due = self._next_ref < start + self.timing.t_rc
+            ref_due = self._next_ref < start + self._t_rc
             if episode_due and ref_due:
                 # Process whichever comes first in time.
                 if self._next_ref <= episode.window_end:
@@ -285,13 +301,18 @@ class SubchannelSim:
             return
 
     def _do_external_service(self) -> None:
-        """One RFM opportunity from an unsimulated bank's ALERT."""
+        """One RFM opportunity from an unsimulated bank's ALERT.
+
+        Counts as one external service regardless of how many banks
+        (or rows) take the opportunity: the stat tracks injected RFM
+        events, not mitigated rows.
+        """
         time = self._next_external
         self._next_external += self.config.external_service_interval_ns or 0.0
+        self.external_services += 1
         for index, policy in enumerate(self.policies):
             for row in policy.select_reactive(1):
                 self._apply_mitigation(index, row, reactive=True, time=time)
-                self.external_services += 1
 
     def _do_ref(self) -> float:
         """Execute (or postpone) the REF due at ``self._next_ref``.
@@ -320,7 +341,7 @@ class SubchannelSim:
         for index, engine in enumerate(self.refresh):
             refreshed_group = engine.execute_ref()
             policy = self.policies[index]
-            if getattr(policy, "wants_refresh_notifications", False):
+            if self._wants_ref_rows[index]:
                 policy.on_ref(engine.group_rows(refreshed_group))
             else:
                 policy.on_ref([])
@@ -340,7 +361,7 @@ class SubchannelSim:
 
     def _proactive_mitigation(self, bank_index: int, time: float) -> None:
         policy = self.policies[bank_index]
-        batch = getattr(policy, "proactive_batch", 1)
+        batch = self._proactive_batch[bank_index]
         for _ in range(batch):
             row = policy.select_proactive()
             if row is None:
@@ -353,8 +374,7 @@ class SubchannelSim:
         self, bank_index: int, row: int, reactive: bool, time: float
     ) -> None:
         reset = self.config.reset_counter_on_mitigation
-        policy = self.policies[bank_index]
-        if getattr(policy, "mitigation_refreshes_row_directly", False):
+        if self._direct_refresh[bank_index]:
             # Victim-counting designs select the victim itself: refresh
             # its data and reset its counter.
             bank = self.banks[bank_index]

@@ -1,7 +1,7 @@
 """Workload-driven performance evaluation front-end.
 
 Feeds a synthetic activation schedule (one or more banks) through the
-sub-channel simulator with a MOAT policy and reports the paper's
+sub-channel simulator with a mitigation policy and reports the paper's
 evaluation metrics:
 
 * ALERTs per tREFI per sub-channel (Figure 11b / 17b) — per-bank alert
@@ -14,6 +14,13 @@ evaluation metrics:
   DESIGN.md for the substitution argument).
 * Mitigations+ALERTs per tREFW per bank (Table 5).
 * Activation-energy overhead (Section 6.5).
+
+The front-end is policy-generic: :class:`RunConfig` carries a
+declarative :class:`~repro.mitigations.registry.PolicySpec`, so the
+same harness evaluates MOAT, Panopticon, PARA, TRR, Graphene, victim
+counting, or the unprotected baseline (the Figure 17 / ablation
+scenario space). :data:`MoatRunConfig` remains as a compatibility
+alias — the default spec is MOAT.
 """
 
 from __future__ import annotations
@@ -24,20 +31,25 @@ from typing import Dict, Optional
 
 from repro.dram.refresh import CounterResetPolicy
 from repro.dram.timing import DramTiming, DDR5_PRAC_TIMING
-from repro.mitigations.moat import MoatPolicy
+from repro.mitigations.registry import PolicySpec, RunParams
 from repro.sim.engine import SimConfig, SubchannelSim
 from repro.workloads.generator import ActivationSchedule, generate_schedule
 from repro.workloads.profiles import WorkloadProfile
 
 
 @dataclass(frozen=True)
-class MoatRunConfig:
-    """Configuration of one performance run."""
+class RunConfig:
+    """Configuration of one performance run (any mitigation policy)."""
 
     ath: int = 64
     eth: Optional[int] = None  # defaults to ath // 2
     abo_level: int = 1
-    trefi_per_mitigation: int = 5
+    #: Which mitigation policy defends each bank.
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    #: REF periods per completed proactive mitigation; ``0`` disables
+    #: the proactive path (ALERT-only, Appendix C "none"); ``None``
+    #: uses the policy's native cadence (5 for MOAT, 4 for Panopticon).
+    trefi_per_mitigation: Optional[int] = None
     banks_simulated: int = 1
     banks_per_subchannel: int = 32
     n_trefi: int = 8192
@@ -51,6 +63,22 @@ class MoatRunConfig:
     #: why real 32-bank systems see low ALERT rates).
     model_cross_bank_service: bool = True
     fixed_point_iterations: int = 5
+
+    @property
+    def eth_resolved(self) -> int:
+        """ETH with the paper's ATH/2 default applied."""
+        return self.ath // 2 if self.eth is None else self.eth
+
+    @property
+    def trefi_per_mitigation_resolved(self) -> int:
+        """Proactive cadence with the policy's default applied."""
+        if self.trefi_per_mitigation is None:
+            return self.policy.default_trefi_per_mitigation
+        return self.trefi_per_mitigation
+
+
+#: Backwards-compatible name from when the front-end was MOAT-only.
+MoatRunConfig = RunConfig
 
 
 @dataclass
@@ -71,6 +99,7 @@ class PerfResult:
     reactive_mitigations: int
     elapsed_ns: float
     stall_ns: float
+    policy: str = "moat"
 
     @property
     def alerts_per_trefi(self) -> float:
@@ -102,17 +131,31 @@ class PerfResult:
             return 0.0
         return self.mitigation_acts / self.total_acts
 
+    def as_metrics(self) -> Dict[str, float]:
+        """Flat metric dict (sweep artifacts, ``summary.json``)."""
+        return {
+            "alerts": float(self.alerts),
+            "alerts_per_trefi": self.alerts_per_trefi,
+            "slowdown": self.slowdown,
+            "normalized_performance": self.normalized_performance,
+            "mitigations_per_trefw_per_bank": self.mitigations_per_trefw_per_bank,
+            "activation_overhead": self.activation_overhead,
+            "total_acts": float(self.total_acts),
+            "proactive_mitigations": float(self.proactive_mitigations),
+            "reactive_mitigations": float(self.reactive_mitigations),
+        }
+
 
 def run_workload(
     profile: WorkloadProfile,
-    config: MoatRunConfig = MoatRunConfig(),
+    config: RunConfig = RunConfig(),
     schedule: Optional[ActivationSchedule] = None,
 ) -> PerfResult:
-    """Simulate one workload against MOAT and collect metrics.
+    """Simulate one workload against the configured policy.
 
     Args:
         profile: Table 4 workload profile.
-        config: MOAT and simulation parameters.
+        config: Policy and simulation parameters.
         schedule: Pre-generated schedule for bank 0 (one is generated
             per bank otherwise; supplying one forces single-bank mode).
     """
@@ -170,7 +213,7 @@ def run_workload(
 
 def _run_once(
     profile: WorkloadProfile,
-    config: MoatRunConfig,
+    config: RunConfig,
     schedules,
     banks: int,
     external_interval: Optional[float],
@@ -181,16 +224,20 @@ def _run_once(
         rows_per_bank=64 * 1024,
         num_refresh_groups=8192,
         reset_policy=CounterResetPolicy.SAFE,
-        trefi_per_mitigation=config.trefi_per_mitigation,
+        trefi_per_mitigation=config.trefi_per_mitigation_resolved,
         abo_level=config.abo_level,
         track_danger=False,
         external_service_interval_ns=external_interval,
     )
-    eth = config.ath // 2 if config.eth is None else config.eth
-    sim = SubchannelSim(
-        sim_config,
-        lambda: MoatPolicy(ath=config.ath, eth=eth, level=config.abo_level),
+    eth = config.eth_resolved
+    run_params = RunParams(
+        ath=config.ath,
+        eth=eth,
+        abo_level=config.abo_level,
+        seed=config.seed,
+        timing=config.timing,
     )
+    sim = SubchannelSim(sim_config, config.policy.make_factory(run_params))
     n_trefi = schedules[0].n_trefi
     trefi = config.timing.t_refi
 
@@ -220,12 +267,13 @@ def _run_once(
         reactive_mitigations=sim.reactive_count,
         elapsed_ns=max(sim.now, n_trefi * trefi),
         stall_ns=stall_ns,
+        policy=config.policy.display_name(),
     )
 
 
 def run_suite(
     profiles,
-    config: MoatRunConfig = MoatRunConfig(),
+    config: RunConfig = RunConfig(),
 ) -> Dict[str, PerfResult]:
     """Run a list of profiles; returns ``{workload_name: PerfResult}``."""
     return {p.name: run_workload(p, config) for p in profiles}

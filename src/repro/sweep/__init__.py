@@ -1,0 +1,52 @@
+"""Parallel experiment orchestration for the reproduction harness.
+
+``repro.sweep`` turns the one-off per-figure pytest drivers into a
+declarative, cacheable, parallel evaluation backbone:
+
+* :mod:`repro.sweep.spec` — grid specs over workload x ATH x ETH x ABO
+  level x mitigation policy, with named presets for every paper
+  figure/table (``fig11``, ``fig17``, ``table5``, ``table6``,
+  ``table7``, ``ablation``).
+* :mod:`repro.sweep.runner` — a ``ProcessPoolExecutor``-based runner
+  with per-point result caching keyed on a config hash, deterministic
+  seeding (parallel == serial), and resume-on-rerun.
+* :mod:`repro.sweep.artifacts` — ``BENCH_sweep.json`` artifact
+  emission and baseline diffing for CI gating
+  (``repro sweep <preset> --check``).
+"""
+
+from repro.sweep.artifacts import (
+    SCHEMA,
+    check_against_baseline,
+    default_baseline_path,
+    diff_artifacts,
+    load_artifact,
+    make_artifact,
+    write_artifact,
+)
+from repro.sweep.runner import PointResult, SweepResult, run_sweep
+from repro.sweep.spec import (
+    PRESETS,
+    SWEEP_WORKLOADS,
+    SweepPoint,
+    SweepSpec,
+    preset,
+)
+
+__all__ = [
+    "PRESETS",
+    "SCHEMA",
+    "SWEEP_WORKLOADS",
+    "PointResult",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "check_against_baseline",
+    "default_baseline_path",
+    "diff_artifacts",
+    "load_artifact",
+    "make_artifact",
+    "preset",
+    "run_sweep",
+    "write_artifact",
+]

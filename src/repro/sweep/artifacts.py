@@ -1,0 +1,263 @@
+"""Machine-readable sweep artifacts and baseline gating.
+
+Every sweep run can be serialized to a ``BENCH_sweep.json`` artifact:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.sweep/v1",
+      "preset": "fig11",
+      "sweep_hash": "0123abcd...",
+      "git_rev": "f80eac4",
+      "created_utc": "2026-07-29T12:00:00Z",
+      "n_trefi": 512,
+      "seed": 0,
+      "jobs": 2,
+      "wall_clock_s": 41.7,
+      "aggregates": {"avg_slowdown": 0.0016, "...": 0},
+      "points": {
+        "roms|moat|ath=64|...": {
+          "config_hash": "8a9b...",
+          "metrics": {"slowdown": 0.002, "...": 0},
+          "wall_clock_s": 1.9
+        }
+      }
+    }
+
+``diff_artifacts`` compares a fresh run against a committed baseline:
+every point of the run must exist in the baseline with an identical
+config hash (otherwise the comparison would be apples-to-oranges) and
+every recorded metric must match within tolerance. The simulator is
+fully deterministic, so the default tolerances are generous enough to
+survive benign floating-point reassociation yet far below any real
+behavioral regression.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.sweep.runner import SweepResult
+
+SCHEMA = "repro.sweep/v1"
+
+#: Default relative location of committed baselines.
+BASELINE_DIR = Path("benchmarks") / "baselines"
+
+#: Metrics that gate the baseline check. Wall-clock is recorded but
+#: never gated (machine-dependent).
+GATED_METRICS = (
+    "alerts",
+    "alerts_per_trefi",
+    "slowdown",
+    "normalized_performance",
+    "mitigations_per_trefw_per_bank",
+    "activation_overhead",
+    "total_acts",
+    "proactive_mitigations",
+    "reactive_mitigations",
+)
+
+DEFAULT_RTOL = 0.05
+DEFAULT_ATOL = 1e-6
+
+
+def utc_now() -> str:
+    """ISO-8601 UTC timestamp used across artifacts and summaries."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def git_revision(cwd: Optional[Path] = None) -> str:
+    """Revision of the repro checkout, or ``"unknown"``.
+
+    Anchored at this module's location (not the process CWD) so
+    artifacts record the provenance of the *code that produced them*,
+    even when ``repro`` runs from inside an unrelated repository; a
+    site-packages install correctly reports ``"unknown"``.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd or Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def git_toplevel(cwd: Optional[Path] = None) -> Optional[Path]:
+    """Root of the repro checkout, or ``None`` for non-repo installs.
+
+    Anchored at this module's location by default (see
+    :func:`git_revision`), so baseline resolution finds the checkout's
+    ``benchmarks/baselines/`` regardless of the process CWD.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=cwd or Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        top = out.stdout.strip()
+        return Path(top) if top else None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def make_artifact(result: SweepResult, git_rev: Optional[str] = None) -> Dict:
+    """Serialize a sweep result into the ``BENCH_sweep.json`` schema."""
+    spec = result.spec
+    return {
+        "schema": SCHEMA,
+        "preset": spec.name,
+        "description": spec.description,
+        "sweep_hash": spec.sweep_hash(),
+        "git_rev": git_revision() if git_rev is None else git_rev,
+        "created_utc": utc_now(),
+        "n_trefi": spec.n_trefi,
+        "seed": spec.seed,
+        "jobs": result.jobs,
+        "wall_clock_s": round(result.wall_clock_s, 3),
+        "compute_time_s": round(result.compute_time_s, 3),
+        "cache_hits": result.cache_hits,
+        "aggregates": result.aggregates(),
+        "points": {
+            r.key: {
+                "config_hash": r.config_hash,
+                "workload": r.workload,
+                "policy": r.policy,
+                # Copy: callers may mutate artifacts (baseline editing)
+                # without corrupting the live result objects.
+                "metrics": dict(r.metrics),
+                "wall_clock_s": round(r.wall_clock_s, 3),
+            }
+            for r in result.results
+        },
+    }
+
+
+def write_artifact(path: Path, artifact: Dict) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
+
+
+def load_artifact(path: Path) -> Dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported artifact schema {data.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    return data
+
+
+def default_baseline_path(preset_name: str, root: Optional[Path] = None) -> Path:
+    """Committed baseline location for a preset (``--check`` default)."""
+    base = Path(root) if root is not None else Path(".")
+    return base / BASELINE_DIR / f"{preset_name}.json"
+
+
+def diff_artifacts(
+    baseline: Dict,
+    current: Dict,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> List[str]:
+    """Compare ``current`` against ``baseline``; returns problems.
+
+    An empty list means the run matches the baseline. Problems are
+    human-readable strings: missing points, config-hash drift, or
+    out-of-tolerance metrics.
+    """
+    problems: List[str] = []
+    base_points = baseline.get("points", {})
+    current_points = current.get("points", {})
+    # Coverage must not shrink: a run that silently drops grid points
+    # (workload subset, narrowed axes) may not pass the gate.
+    for key in base_points:
+        if key not in current_points:
+            problems.append(
+                f"missing from run: {key} (baseline covers this point; "
+                "the run's grid shrank)"
+            )
+    for key, point in current_points.items():
+        base = base_points.get(key)
+        if base is None:
+            problems.append(
+                f"missing from baseline: {key} (baseline was written for a "
+                "different scale/grid; regenerate with --write-baseline)"
+            )
+            continue
+        if base.get("config_hash") != point.get("config_hash"):
+            problems.append(
+                f"config drift: {key} hashed {point.get('config_hash')} but "
+                f"baseline has {base.get('config_hash')} (simulator or "
+                "generator semantics changed; regenerate the baseline)"
+            )
+            continue
+        for metric in GATED_METRICS:
+            if metric not in base.get("metrics", {}):
+                continue
+            got_raw = point.get("metrics", {}).get(metric)
+            try:
+                want = float(base["metrics"][metric])
+                got = float("nan") if got_raw is None else float(got_raw)
+            except (TypeError, ValueError):
+                # Hand-edited values like "0.5%" fail the gate with a
+                # problem line, never a traceback.
+                problems.append(
+                    f"unparseable metric: {key}: {metric} = {got_raw!r} "
+                    f"(baseline {base['metrics'][metric]!r})"
+                )
+                continue
+            # NaN compares False against every tolerance, so it must
+            # fail explicitly — a missing or NaN metric is a gate
+            # failure, never a silent pass.
+            if math.isnan(got) or math.isnan(want):
+                problems.append(
+                    f"metric missing or NaN: {key}: {metric} = {got_raw!r} "
+                    f"(baseline {base['metrics'][metric]!r})"
+                )
+                continue
+            if abs(got - want) > atol + rtol * abs(want):
+                problems.append(
+                    f"metric regression: {key}: {metric} = {got:.6g} "
+                    f"(baseline {want:.6g}, rtol={rtol}, atol={atol})"
+                )
+    return problems
+
+
+def check_against_baseline(
+    artifact: Dict,
+    baseline_path: Path,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> Tuple[bool, List[str]]:
+    """Gate an already-serialized sweep artifact on a baseline file."""
+    path = Path(baseline_path)
+    if not path.is_file():
+        return False, [
+            f"baseline not found: {path} (generate one with "
+            "`repro sweep ... --write-baseline`)"
+        ]
+    try:
+        baseline = load_artifact(path)
+    except (OSError, ValueError) as exc:
+        # Truncated, hand-edited, or wrong-schema baselines must fail
+        # the gate with a problem line, not a traceback.
+        return False, [f"unreadable baseline: {exc}"]
+    problems = diff_artifacts(baseline, artifact, rtol=rtol, atol=atol)
+    return not problems, problems

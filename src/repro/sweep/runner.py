@@ -1,0 +1,241 @@
+"""Parallel, cached execution of sweep specs.
+
+Points are independent simulations with fully deterministic seeding
+(the schedule generator and every stochastic policy derive their RNG
+streams from the point's config), so executing them across a
+``ProcessPoolExecutor`` produces bit-identical metrics to a serial
+run — the runner asserts nothing about ordering and reassembles
+results in spec order.
+
+Completed points are persisted to a cache directory keyed on the
+point's config hash; reruns (including a sweep interrupted halfway)
+skip straight past them. The hash covers the workload, the policy
+spec, every grid parameter, and a result-version constant, so any
+semantic change to the simulator invalidates the cache wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.perf import run_workload
+from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.workloads.profiles import profile_by_name
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = Path(".repro-cache") / "sweep"
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class PointResult:
+    """Outcome of one sweep point (metrics plus provenance)."""
+
+    key: str
+    config_hash: str
+    workload: str
+    policy: str
+    ath: int
+    eth: int
+    abo_level: int
+    trefi_per_mitigation: int
+    n_trefi: int
+    seed: int
+    metrics: Dict[str, float]
+    wall_clock_s: float
+    cached: bool = False
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "config_hash": self.config_hash,
+            "workload": self.workload,
+            "policy": self.policy,
+            "ath": self.ath,
+            "eth": self.eth,
+            "abo_level": self.abo_level,
+            "trefi_per_mitigation": self.trefi_per_mitigation,
+            "n_trefi": self.n_trefi,
+            "seed": self.seed,
+            "metrics": self.metrics,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+    @staticmethod
+    def from_json(data: Dict[str, object], cached: bool = False) -> "PointResult":
+        return PointResult(
+            key=str(data["key"]),
+            config_hash=str(data["config_hash"]),
+            workload=str(data["workload"]),
+            policy=str(data["policy"]),
+            ath=int(data["ath"]),
+            eth=int(data["eth"]),
+            abo_level=int(data["abo_level"]),
+            trefi_per_mitigation=int(data["trefi_per_mitigation"]),
+            n_trefi=int(data["n_trefi"]),
+            seed=int(data["seed"]),
+            metrics={k: float(v) for k, v in dict(data["metrics"]).items()},
+            wall_clock_s=float(data["wall_clock_s"]),
+            cached=cached,
+        )
+
+
+@dataclass
+class SweepResult:
+    """All point results of one sweep, in spec order."""
+
+    spec: SweepSpec
+    results: List[PointResult] = field(default_factory=list)
+    wall_clock_s: float = 0.0
+    jobs: int = 1
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def compute_time_s(self) -> float:
+        """Summed per-point simulation time. Cached points retain the
+        wall-clock of their *original* computation, so this stays a
+        meaningful perf-trajectory number even on warm-cache reruns
+        (unlike ``wall_clock_s``, which times cache-file reads then)."""
+        return sum(r.wall_clock_s for r in self.results)
+
+    def by_key(self) -> Dict[str, PointResult]:
+        return {r.key: r for r in self.results}
+
+    def aggregates(self) -> Dict[str, float]:
+        """Cross-point summary metrics (artifact ``aggregates`` block)."""
+        n = len(self.results)
+        if n == 0:
+            return {}
+        gmean = 1.0
+        for r in self.results:
+            gmean *= max(r.metrics.get("normalized_performance", 1.0), 1e-12)
+        return {
+            "points": float(n),
+            "avg_slowdown": sum(r.metrics.get("slowdown", 0.0) for r in self.results) / n,
+            "avg_alerts_per_trefi": sum(
+                r.metrics.get("alerts_per_trefi", 0.0) for r in self.results
+            )
+            / n,
+            "gmean_normalized_performance": gmean ** (1.0 / n),
+        }
+
+
+def execute_point(point: SweepPoint) -> PointResult:
+    """Run one sweep point in the current process (worker entry)."""
+    started = time.perf_counter()
+    result = run_workload(profile_by_name(point.workload), point.config)
+    config = point.config
+    return PointResult(
+        key=point.key,
+        config_hash=point.config_hash(),
+        workload=point.workload,
+        policy=config.policy.display_name(),
+        ath=config.ath,
+        eth=config.eth_resolved,
+        abo_level=config.abo_level,
+        trefi_per_mitigation=config.trefi_per_mitigation_resolved,
+        n_trefi=config.n_trefi,
+        seed=config.seed,
+        metrics=result.as_metrics(),
+        wall_clock_s=time.perf_counter() - started,
+    )
+
+
+def _cache_path(cache_dir: Path, config_hash: str) -> Path:
+    return cache_dir / f"{config_hash}.json"
+
+
+def _load_cached(cache_dir: Path, point: SweepPoint) -> Optional[PointResult]:
+    path = _cache_path(cache_dir, point.config_hash())
+    if not path.is_file():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if data.get("config_hash") != point.config_hash():
+        return None  # stale/corrupt entry; recompute
+    try:
+        return PointResult.from_json(data, cached=True)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _store_cached(cache_dir: Path, result: PointResult) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = _cache_path(cache_dir, result.config_hash)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(result.to_json(), indent=1, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache_dir: Optional[Path] = DEFAULT_CACHE_DIR,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """Execute every point of ``spec``; parallel when ``jobs > 1``.
+
+    Args:
+        spec: The grid to run.
+        jobs: Worker processes (``1`` = serial, in-process).
+        cache_dir: Per-point result cache; ``None`` disables caching.
+        progress: Optional callback receiving one line per finished
+            point (``[done/total] key (cached|12.3s)``).
+    """
+    started = time.perf_counter()
+    points = spec.points()
+    total = len(points)
+    results: Dict[int, PointResult] = {}
+
+    def note(index: int, result: PointResult) -> None:
+        results[index] = result
+        if progress is not None:
+            status = "cached" if result.cached else f"{result.wall_clock_s:.1f}s"
+            progress(f"[{len(results)}/{total}] {result.key} ({status})")
+
+    pending: List[int] = []
+    for index, point in enumerate(points):
+        cached = _load_cached(cache_dir, point) if cache_dir else None
+        if cached is not None:
+            note(index, cached)
+        else:
+            pending.append(index)
+
+    if pending and jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(execute_point, points[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    result = future.result()
+                    if cache_dir:
+                        _store_cached(cache_dir, result)
+                    note(index, result)
+    else:
+        for index in pending:
+            result = execute_point(points[index])
+            if cache_dir:
+                _store_cached(cache_dir, result)
+            note(index, result)
+
+    ordered = [results[i] for i in range(total)]
+    return SweepResult(
+        spec=spec,
+        results=ordered,
+        wall_clock_s=time.perf_counter() - started,
+        jobs=jobs,
+    )

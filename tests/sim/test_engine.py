@@ -225,3 +225,40 @@ class TestStats:
         sim = null_sim()
         sim.advance_to(2.5 * DDR5_PRAC_TIMING.t_refi)
         assert sim.trefi_index() == 2
+
+
+class TestExternalServiceCounting:
+    def test_counts_events_not_mitigated_rows(self):
+        """One injected RFM event is one external service, even when
+        multiple banks each take their mitigation opportunity."""
+        from repro.mitigations.moat import MoatPolicy
+
+        config = SimConfig(
+            num_banks=2,
+            trefi_per_mitigation=0,
+            track_danger=False,
+            external_service_interval_ns=10_000.0,
+        )
+        sim = SubchannelSim(config, lambda: MoatPolicy(ath=64, eth=4))
+        # Push one row above ETH on each bank so both banks have a
+        # reactive candidate when the external service arrives.
+        for _ in range(10):
+            sim.activate(7, bank=0)
+            sim.activate(9, bank=1)
+        assert sim.external_services == 0
+        sim.advance_to(10_001.0)
+        assert sim.external_services == 1
+        # Both banks were serviced by that single event.
+        assert sim.reactive_count == 0  # external services aren't ALERT RFMs
+        assert sim.bank.prac_count(7) == 0
+        assert sim.banks[1].prac_count(9) == 0
+
+    def test_event_counted_even_with_nothing_to_mitigate(self):
+        config = SimConfig(
+            num_banks=1,
+            track_danger=False,
+            external_service_interval_ns=5_000.0,
+        )
+        sim = SubchannelSim(config, lambda: MoatPolicy(ath=64))
+        sim.advance_to(20_000.0)
+        assert sim.external_services == 4

@@ -115,3 +115,60 @@ class TestSuiteHelpers:
         assert geometric_mean_performance({}) == 1.0
         assert average_slowdown({}) == 0.0
         assert average_alert_rate({}) == 0.0
+
+
+class TestPolicyGenericRuns:
+    """The front-end accepts any registered mitigation policy."""
+
+    def test_panopticon_run(self):
+        from repro.mitigations.registry import PolicySpec
+
+        config = small_config(policy=PolicySpec("panopticon"))
+        result = run_workload(profile_by_name("roms"), config)
+        assert result.policy == "panopticon"
+        # Panopticon's native proactive cadence (4) is applied.
+        assert config.trefi_per_mitigation_resolved == 4
+        assert result.total_acts > 0
+        assert 0.0 <= result.slowdown <= 1.0
+
+    def test_para_run_is_deterministic(self):
+        from repro.mitigations.registry import PolicySpec
+
+        config = small_config(policy=PolicySpec.of("para", probability=0.01))
+        first = run_workload(profile_by_name("roms"), config)
+        second = run_workload(profile_by_name("roms"), config)
+        assert first.as_metrics() == second.as_metrics()
+        assert first.proactive_mitigations > 0  # PARA did sample rows
+
+    def test_para_seed_changes_mitigation_stream(self):
+        from repro.mitigations.registry import PolicySpec
+
+        spec = PolicySpec.of("para", probability=0.01)
+        a = run_workload(profile_by_name("roms"), small_config(policy=spec, seed=0))
+        b = run_workload(profile_by_name("roms"), small_config(policy=spec, seed=1))
+        # Different seed: different schedule AND different PARA stream.
+        assert a.as_metrics() != b.as_metrics()
+
+    def test_moat_default_matches_legacy_alias(self):
+        legacy = MoatRunConfig(n_trefi=512, model_cross_bank_service=False)
+        modern = small_config()
+        assert legacy == modern
+        assert legacy.policy.kind == "moat"
+        assert legacy.trefi_per_mitigation_resolved == 5
+
+    def test_null_policy_is_free(self):
+        from repro.mitigations.registry import PolicySpec
+
+        result = run_workload(
+            profile_by_name("roms"), small_config(policy=PolicySpec("null"))
+        )
+        assert result.alerts == 0
+        assert result.proactive_mitigations == 0
+        assert result.slowdown == 0.0
+
+    def test_as_metrics_matches_properties(self):
+        result = run_workload(profile_by_name("roms"), small_config())
+        metrics = result.as_metrics()
+        assert metrics["slowdown"] == result.slowdown
+        assert metrics["alerts_per_trefi"] == result.alerts_per_trefi
+        assert metrics["alerts"] == float(result.alerts)

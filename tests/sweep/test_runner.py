@@ -1,0 +1,141 @@
+"""Tests for the parallel cached sweep runner."""
+
+import json
+
+import pytest
+
+from repro.mitigations.registry import PolicySpec
+from repro.sweep.runner import execute_point, run_sweep
+from repro.sweep.spec import SweepSpec
+
+
+def tiny_spec(**kwargs):
+    defaults = dict(
+        name="tiny",
+        workloads=("tc", "roms"),
+        n_trefi=256,
+        model_cross_bank_service=False,
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestSerialRunner:
+    def test_runs_every_point_in_order(self, tmp_path):
+        spec = tiny_spec(ath=(64, 128))
+        result = run_sweep(spec, jobs=1, cache_dir=tmp_path / "cache")
+        assert [r.key for r in result.results] == [p.key for p in spec.points()]
+        assert all(not r.cached for r in result.results)
+        assert result.aggregates()["points"] == 4.0
+
+    def test_metrics_match_direct_execution(self, tmp_path):
+        spec = tiny_spec()
+        point = spec.points()[1]  # roms: has alerts at this scale
+        direct = execute_point(point)
+        swept = run_sweep(spec, jobs=1, cache_dir=tmp_path / "c").results[1]
+        assert swept.metrics == direct.metrics
+        assert direct.metrics["alerts"] > 0
+
+    def test_no_cache_dir_disables_caching(self):
+        spec = tiny_spec(workloads=("tc",))
+        first = run_sweep(spec, jobs=1, cache_dir=None)
+        second = run_sweep(spec, jobs=1, cache_dir=None)
+        assert not first.results[0].cached and not second.results[0].cached
+
+
+class TestCache:
+    def test_rerun_hits_cache_with_identical_metrics(self, tmp_path):
+        spec = tiny_spec()
+        cache = tmp_path / "cache"
+        cold = run_sweep(spec, jobs=1, cache_dir=cache)
+        warm = run_sweep(spec, jobs=1, cache_dir=cache)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(spec.points())
+        assert [r.metrics for r in warm.results] == [r.metrics for r in cold.results]
+        # Cached points keep their original compute time, so the
+        # perf-trajectory number survives warm reruns.
+        assert warm.compute_time_s == pytest.approx(cold.compute_time_s)
+        assert warm.compute_time_s > warm.wall_clock_s
+
+    def test_config_change_misses_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_sweep(tiny_spec(), jobs=1, cache_dir=cache)
+        changed = run_sweep(tiny_spec(seed=1), jobs=1, cache_dir=cache)
+        assert changed.cache_hits == 0
+
+    def test_partial_cache_resumes(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_sweep(tiny_spec(workloads=("tc",)), jobs=1, cache_dir=cache)
+        combined = run_sweep(tiny_spec(workloads=("tc", "roms")), jobs=1,
+                             cache_dir=cache)
+        assert combined.cache_hits == 1
+        flags = {r.workload: r.cached for r in combined.results}
+        assert flags == {"tc": True, "roms": False}
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cache = tmp_path / "cache"
+        spec = tiny_spec(workloads=("tc",))
+        run_sweep(spec, jobs=1, cache_dir=cache)
+        entry = cache / f"{spec.points()[0].config_hash()}.json"
+        entry.write_text("{not json")
+        rerun = run_sweep(spec, jobs=1, cache_dir=cache)
+        assert rerun.cache_hits == 0
+        # The recomputed result was re-persisted correctly.
+        assert json.loads(entry.read_text())["key"] == spec.points()[0].key
+
+    def test_hash_mismatch_in_cache_file_recomputed(self, tmp_path):
+        cache = tmp_path / "cache"
+        spec = tiny_spec(workloads=("tc",))
+        run_sweep(spec, jobs=1, cache_dir=cache)
+        entry = cache / f"{spec.points()[0].config_hash()}.json"
+        data = json.loads(entry.read_text())
+        data["config_hash"] = "0" * 16
+        entry.write_text(json.dumps(data))
+        rerun = run_sweep(spec, jobs=1, cache_dir=cache)
+        assert rerun.cache_hits == 0
+
+
+class TestParallelRunner:
+    def test_parallel_equals_serial(self, tmp_path):
+        spec = tiny_spec(ath=(64, 128))
+        serial = run_sweep(spec, jobs=1, cache_dir=None)
+        parallel = run_sweep(spec, jobs=2, cache_dir=tmp_path / "c")
+        assert [r.key for r in parallel.results] == [r.key for r in serial.results]
+        assert [r.metrics for r in parallel.results] == [
+            r.metrics for r in serial.results
+        ]
+
+    def test_parallel_stochastic_policy_is_deterministic(self, tmp_path):
+        spec = tiny_spec(policies=(PolicySpec.of("para", probability=0.01),))
+        serial = run_sweep(spec, jobs=1, cache_dir=None)
+        parallel = run_sweep(spec, jobs=2, cache_dir=None)
+        assert [r.metrics for r in parallel.results] == [
+            r.metrics for r in serial.results
+        ]
+
+    def test_progress_callback_sees_every_point(self, tmp_path):
+        lines = []
+        spec = tiny_spec(workloads=("tc",), ath=(64, 128))
+        run_sweep(spec, jobs=1, cache_dir=None, progress=lines.append)
+        assert len(lines) == 2
+        assert lines[0].startswith("[1/2] ")
+        assert lines[-1].startswith("[2/2] ")
+
+
+class TestPolicyGenericPoints:
+    @pytest.mark.parametrize("kind", ["panopticon", "para", "trr", "graphene",
+                                      "victim-counter", "null"])
+    def test_every_policy_kind_executes(self, kind):
+        spec = tiny_spec(workloads=("tc",), policies=(PolicySpec(kind),),
+                         n_trefi=64)
+        result = run_sweep(spec, jobs=1, cache_dir=None).results[0]
+        assert result.policy == kind
+        assert result.metrics["total_acts"] > 0
+        assert 0.0 <= result.metrics["slowdown"] <= 1.0
+
+    def test_null_policy_never_mitigates(self):
+        spec = tiny_spec(workloads=("roms",), policies=(PolicySpec("null"),))
+        result = run_sweep(spec, jobs=1, cache_dir=None).results[0]
+        assert result.metrics["proactive_mitigations"] == 0
+        assert result.metrics["reactive_mitigations"] == 0
+        assert result.metrics["alerts"] == 0

@@ -1,0 +1,125 @@
+"""Tests for the ``repro sweep`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sweep.spec import PRESETS
+
+SMOKE = ["--trefi", "256", "--workloads", "tc,roms", "--jobs", "1", "--quiet"]
+
+
+def run_sweep_cli(tmp_path, *extra, preset="table5"):
+    out = tmp_path / "BENCH_sweep.json"
+    argv = ["sweep", preset, *SMOKE, "--out", str(out),
+            "--cache-dir", str(tmp_path / "cache"), *extra]
+    return main(argv), out
+
+
+class TestParser:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "fig11"])
+        assert args.preset == "fig11"
+        assert args.jobs >= 1
+        assert not args.check
+
+    def test_bad_jobs_type_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fig11", "--jobs", "two"])
+
+    def test_check_and_write_baseline_mutually_exclusive(self):
+        """Combining the gate with baseline regeneration would let a
+        regressed run overwrite its own baseline and pass."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "fig11", "--check", "--write-baseline"]
+            )
+
+
+class TestList:
+    def test_lists_every_preset(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in PRESETS:
+            assert name in out
+
+    def test_preset_required_without_list(self, capsys):
+        assert main(["sweep", "--quiet"]) == 2
+
+    def test_unknown_preset_is_usage_error(self, capsys):
+        assert main(["sweep", "fig99", "--quiet"]) == 2
+        assert "unknown sweep preset" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_golden_output_shape(self, tmp_path, capsys):
+        code, out = run_sweep_cli(tmp_path)
+        assert code == 0
+        stdout = capsys.readouterr().out
+        # Table header, per-point rows, aggregate row.
+        for column in ["workload", "policy", "ATH", "ETH", "slowdown",
+                       "ALERT/tREFI"]:
+            assert column in stdout
+        assert "Sweep table5 (n_trefi=256" in stdout
+        assert stdout.count("roms") == 4  # one row per ETH value
+        assert "AVERAGE" in stdout
+
+    def test_artifact_written(self, tmp_path):
+        code, out = run_sweep_cli(tmp_path)
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["schema"] == "repro.sweep/v1"
+        assert artifact["preset"] == "table5"
+        assert len(artifact["points"]) == 8  # 2 workloads x 4 ETH values
+
+    def test_rerun_uses_cache(self, tmp_path, capsys):
+        run_sweep_cli(tmp_path)
+        capsys.readouterr()
+        code, _ = run_sweep_cli(tmp_path)
+        assert code == 0
+        assert "8 cached" in capsys.readouterr().out
+
+
+class TestBaselineGate:
+    def test_write_baseline_then_check_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        code, _ = run_sweep_cli(
+            tmp_path, "--baseline", str(baseline), "--write-baseline"
+        )
+        assert code == 0 and baseline.is_file()
+        code, _ = run_sweep_cli(tmp_path, "--baseline", str(baseline), "--check")
+        assert code == 0
+
+    def test_check_fails_on_metric_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        run_sweep_cli(tmp_path, "--baseline", str(baseline), "--write-baseline")
+        data = json.loads(baseline.read_text())
+        key = next(k for k in data["points"] if k.startswith("roms"))
+        data["points"][key]["metrics"]["slowdown"] += 0.5
+        baseline.write_text(json.dumps(data))
+        capsys.readouterr()
+        code, _ = run_sweep_cli(tmp_path, "--baseline", str(baseline), "--check")
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "BASELINE CHECK FAILED" in err
+        assert "metric regression" in err
+
+    def test_check_fails_when_baseline_missing(self, tmp_path, capsys):
+        code, _ = run_sweep_cli(
+            tmp_path, "--baseline", str(tmp_path / "nope.json"), "--check"
+        )
+        assert code == 1
+        assert "baseline not found" in capsys.readouterr().err
+
+    def test_check_fails_on_scale_mismatch(self, tmp_path, capsys):
+        """A baseline written at one n_trefi rejects a run at another."""
+        baseline = tmp_path / "baseline.json"
+        run_sweep_cli(tmp_path, "--baseline", str(baseline), "--write-baseline")
+        out = tmp_path / "other.json"
+        argv = ["sweep", "table5", "--trefi", "128", "--workloads", "tc,roms",
+                "--jobs", "1", "--quiet", "--out", str(out),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--baseline", str(baseline), "--check"]
+        assert main(argv) == 1
+        assert "missing from baseline" in capsys.readouterr().err
