@@ -39,15 +39,30 @@ from repro.mitigations import (
     PolicySpec,
     TrrTracker,
 )
-from repro.sim import SimConfig, SubchannelSim
+from repro.sim import (
+    AddressMapping,
+    ChannelConfig,
+    ChannelSim,
+    CoffeeLakeMapping,
+    SimConfig,
+    SubchannelSim,
+)
 from repro.sim.perf import (
     MoatRunConfig,
     PerfResult,
     RunConfig,
     run_suite,
+    run_trace,
     run_workload,
 )
-from repro.trace import ActivationTrace, TraceRecorder, replay
+from repro.trace import (
+    ActivationTrace,
+    AddressTrace,
+    TraceRecorder,
+    load_trace,
+    replay,
+    replay_addresses,
+)
 from repro.workloads import TABLE4_PROFILES, WorkloadProfile, profile_by_name
 
 __version__ = "1.0.0"
@@ -68,6 +83,10 @@ __all__ = [
     "PanopticonPolicy",
     "ParaPolicy",
     "TrrTracker",
+    "AddressMapping",
+    "ChannelConfig",
+    "ChannelSim",
+    "CoffeeLakeMapping",
     "SimConfig",
     "SubchannelSim",
     "MoatRunConfig",
@@ -76,9 +95,13 @@ __all__ = [
     "RunConfig",
     "run_workload",
     "run_suite",
+    "run_trace",
     "ActivationTrace",
+    "AddressTrace",
     "TraceRecorder",
+    "load_trace",
     "replay",
+    "replay_addresses",
     "TABLE4_PROFILES",
     "WorkloadProfile",
     "profile_by_name",

@@ -143,6 +143,15 @@ class AboProtocol:
         """Record one activation on the sub-channel."""
         self._acts_since_last_alert += 1
 
+    def note_activations(self, count: int) -> None:
+        """Record ``count`` activations at once (batched drivers).
+
+        Only legal between ALERT interactions: the engine's fast loop
+        flushes its local counter before any path that may consult
+        :meth:`can_assert` or begin an episode.
+        """
+        self._acts_since_last_alert += count
+
     def request_alert(self) -> None:
         """A bank asks for reactive mitigation; latched until honoured."""
         self._pending = True

@@ -3,10 +3,16 @@
 Commands:
 
 * ``attack`` — run one of the paper's attacks and print the result.
-* ``perf`` — evaluate a mitigation policy on a Table 4 workload.
+* ``perf`` — evaluate a mitigation policy on a Table 4 workload (or a
+  recorded address trace via ``--trace``), optionally across multiple
+  sub-channels (``--channels``); ``--list-policies`` prints the
+  mitigation registry.
 * ``sweep`` — run a named experiment grid (paper figure/table presets)
   in parallel, emit a ``BENCH_sweep.json`` artifact, and optionally
-  gate against a committed baseline (``--check``).
+  gate against a committed baseline (``--check``);
+  ``--list-presets`` lists the grids.
+* ``trace`` — synthesize or inspect physical-address traces for the
+  channel-level replay workload.
 * ``model`` — print an analytical model's table (Table 2, Figure 10,
   Table 7 Safe-TRH, Section 7 throughput).
 * ``workloads`` — list the Table 4 profiles.
@@ -34,9 +40,15 @@ from repro.attacks import (
     run_tsa,
 )
 from repro.attacks.base import AttackResult
-from repro.mitigations.registry import PolicySpec, policy_kinds
+from repro.mitigations.registry import (
+    PolicySpec,
+    policy_descriptions,
+    policy_kinds,
+)
 from repro.report.tables import format_table
-from repro.sim.perf import RunConfig, run_workload
+from repro.sim.mapping import CoffeeLakeMapping
+from repro.sim.perf import RunConfig, run_trace, run_workload
+from repro.trace import AddressTrace, load_trace
 from repro.sweep.artifacts import (
     DEFAULT_ATOL,
     DEFAULT_RTOL,
@@ -81,15 +93,45 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
-    profile = profile_by_name(args.workload)
+    if args.list_policies:
+        rows = [
+            (kind, info["trefi_per_mitigation"], info["description"])
+            for kind, info in sorted(policy_descriptions().items())
+        ]
+        print(format_table(
+            ["policy", "tREFI/mitigation", "description"], rows,
+            title="Registered mitigation policies"))
+        return 0
+    if args.channels < 1:
+        print("error: --channels must be at least 1", file=sys.stderr)
+        return 2
     config = RunConfig(
         ath=args.ath,
         eth=args.eth,
         abo_level=args.level,
         policy=PolicySpec(args.policy),
+        subchannels=args.channels,
         n_trefi=args.trefi,
     )
-    result = run_workload(profile, config)
+    if args.trace:
+        trace = load_trace(args.trace)
+        if not isinstance(trace, AddressTrace):
+            print(
+                f"error: {args.trace} is an activation trace; perf replay "
+                "needs an address trace (see `repro trace synth`)",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_trace(trace, config)
+        display = f"trace {args.trace} ({result.workload})"
+    elif args.workload:
+        profile = profile_by_name(args.workload)
+        result = run_workload(profile, config)
+        display = profile.display_name
+    else:
+        print("error: a workload name (or --trace/--list-policies) is "
+              "required", file=sys.stderr)
+        return 2
     rows = [
         ("ALERTs per tREFI (sub-channel)", f"{result.alerts_per_trefi:.4f}"),
         ("slowdown", f"{result.slowdown:.3%}"),
@@ -97,9 +139,52 @@ def _cmd_perf(args: argparse.Namespace) -> int:
          f"{result.mitigations_per_trefw_per_bank:.0f}"),
         ("activation overhead", f"{result.activation_overhead:.2%}"),
     ]
-    title = (f"{profile.display_name} under {result.policy}-L{args.level} "
-             f"(ATH={args.ath}, ETH={result.eth})")
+    scope = (f", {result.subchannels} sub-channels"
+             if result.subchannels > 1 else "")
+    title = (f"{display} under {result.policy}-L{args.level} "
+             f"(ATH={args.ath}, ETH={result.eth}{scope})")
     print(format_table(["metric", "value"], rows, title=title))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.action == "synth":
+        if not args.workload:
+            print("error: trace synth needs a workload name", file=sys.stderr)
+            return 2
+        profile = profile_by_name(args.workload)
+        mapping = CoffeeLakeMapping()
+        from repro.workloads.generator import generate_address_trace
+
+        try:
+            trace = generate_address_trace(
+                profile,
+                mapping,
+                n_trefi=args.trefi,
+                seed=args.seed,
+                banks_per_subchannel=args.banks,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        out = args.out or f"{profile.name}.trace.jsonl"
+        trace.save(out)
+        print(f"wrote {len(trace)} address events "
+              f"({trace.duration_ns / 1e6:.2f} ms) to {out}")
+        return 0
+    # info
+    if not args.workload:
+        print("error: trace info needs a trace path", file=sys.stderr)
+        return 2
+    trace = load_trace(args.workload)
+    kind = "address" if isinstance(trace, AddressTrace) else "activation"
+    rows = [
+        ("kind", kind),
+        ("events", len(trace)),
+        ("duration (ms)", round(trace.duration_ns / 1e6, 3)),
+    ]
+    rows += [(f"meta:{k}", v) for k, v in sorted(trace.metadata.items())]
+    print(format_table(["field", "value"], rows, title=str(args.workload)))
     return 0
 
 
@@ -113,7 +198,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                            title="Sweep presets"))
         return 0
     if not args.preset:
-        print("error: a preset name (or --list) is required", file=sys.stderr)
+        print("error: a preset name (or --list-presets) is required",
+              file=sys.stderr)
         return 2
     try:
         spec = preset(args.preset)
@@ -269,23 +355,51 @@ def build_parser() -> argparse.ArgumentParser:
     attack.set_defaults(func=_cmd_attack)
 
     perf = sub.add_parser("perf", help="evaluate a mitigation policy on a workload")
-    perf.add_argument("workload", help="Table 4 workload name (see 'workloads')")
+    perf.add_argument("workload", nargs="?", default=None,
+                      help="Table 4 workload name (see 'workloads')")
     perf.add_argument("--ath", type=int, default=64)
     perf.add_argument("--eth", type=int, default=None)
     perf.add_argument("--level", type=int, default=1, choices=[1, 2, 4])
     perf.add_argument("--policy", choices=sorted(policy_kinds()), default="moat",
                       help="mitigation policy (default: moat)")
+    perf.add_argument("--list-policies", action="store_true",
+                      help="list the registered mitigation policies and exit")
+    perf.add_argument("--channels", type=int, default=1, metavar="N",
+                      help="sub-channels simulated per run (synthetic "
+                      "workloads; trace replay takes its geometry from "
+                      "the mapping)")
+    perf.add_argument("--trace", default=None, metavar="PATH",
+                      help="replay a recorded address trace instead of a "
+                      "synthetic workload (see `repro trace synth`)")
     perf.add_argument("--trefi", type=int, default=4096,
                       help="simulated tREFI intervals (8192 = full window)")
     perf.set_defaults(func=_cmd_perf)
+
+    trace = sub.add_parser(
+        "trace",
+        help="synthesize or inspect channel-level address traces",
+    )
+    trace.add_argument("action", choices=["synth", "info"])
+    trace.add_argument("workload", nargs="?", default=None,
+                       help="workload name (synth) or trace path (info)")
+    trace.add_argument("--trefi", type=int, default=256,
+                       help="trace length in tREFI intervals (synth)")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--banks", type=int, default=None,
+                       help="banks per sub-channel to populate "
+                       "(default: all 32)")
+    trace.add_argument("--out", default=None,
+                       help="output path (default: <workload>.trace.jsonl)")
+    trace.set_defaults(func=_cmd_trace)
 
     sweep = sub.add_parser(
         "sweep",
         help="run a paper figure/table experiment grid in parallel",
     )
     sweep.add_argument("preset", nargs="?", default=None,
-                       help="preset name (see --list)")
-    sweep.add_argument("--list", action="store_true",
+                       help="preset name (see --list-presets)")
+    sweep.add_argument("--list", "--list-presets", dest="list",
+                       action="store_true",
                        help="list available presets and exit")
     sweep.add_argument("--jobs", type=int, default=max(1, os.cpu_count() or 1),
                        help="worker processes (default: CPU count)")

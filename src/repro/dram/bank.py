@@ -16,12 +16,22 @@ Keeping the two separate is what lets the test-suite demonstrate the
 paper's Figure 7(a) vulnerability: an unsafe counter reset zeroes ``prac``
 while ``danger`` keeps accumulating across the refresh boundary.
 
-Rows are stored sparsely (banks have 64K rows but attacks touch a few),
-so construction cost is independent of the row count.
+Two storage layouts are supported:
+
+* **Sparse** (default) — counters live in a dict keyed by row. Attacks
+  touch a handful of rows, so construction cost is independent of the
+  row count and introspection (:meth:`Bank.touched_rows`) reports
+  exactly the rows an attack materialized.
+* **Dense** (``dense_counters=True``) — one preallocated flat array
+  slot per row. Workload simulations activate hundreds of thousands of
+  distinct rows, where per-row dict churn dominates the hot path; the
+  flat table gives the engine's batched activate loop O(1) unhashed
+  access. Counter semantics are bit-identical to the sparse layout.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional
 
@@ -47,7 +57,9 @@ class Bank:
             :mod:`repro.sim`); security simulations keep it on.
         initial_counter: Optional function ``row -> int`` giving the
             initial PRAC value of a row (used by randomized Panopticon).
-            Defaults to zero.
+            Defaults to zero. Incompatible with ``dense_counters``.
+        dense_counters: Store PRAC counters in a preallocated flat
+            array instead of a sparse dict (see module docstring).
     """
 
     def __init__(
@@ -56,16 +68,26 @@ class Bank:
         blast_radius: int = 2,
         track_danger: bool = True,
         initial_counter: Optional[Callable[[int], int]] = None,
+        dense_counters: bool = False,
     ) -> None:
         if num_rows <= 0:
             raise ValueError("num_rows must be positive")
         if blast_radius < 1:
             raise ValueError("blast_radius must be at least 1")
+        if dense_counters and initial_counter is not None:
+            raise ValueError(
+                "dense_counters starts all-zero; initial_counter needs the "
+                "sparse layout"
+            )
         self.num_rows = num_rows
         self.blast_radius = blast_radius
         self.track_danger = track_danger
+        self.dense_counters = dense_counters
         self._initial_counter = initial_counter
-        self._prac: Dict[int, int] = {}
+        #: PRAC storage: flat array (dense) or row-keyed dict (sparse).
+        #: The engine's batched activate loop indexes the array
+        #: directly, so the dense layout must stay a plain sequence.
+        self._prac = array("q", bytes(8 * num_rows)) if dense_counters else {}
         self._danger: Dict[int, int] = {}
         #: Total ACT commands this bank has performed (for energy model).
         self.total_activations = 0
@@ -84,6 +106,8 @@ class Bank:
     def prac_count(self, row: int) -> int:
         """Defense-visible PRAC counter of ``row``."""
         self._check_row(row)
+        if self.dense_counters:
+            return self._prac[row]
         count = self._prac.get(row)
         if count is None:
             count = self._initial_counter(row) if self._initial_counter else 0
@@ -122,6 +146,11 @@ class Bank:
         if self.track_danger:
             self._spread_danger(row)
         return count
+
+    def note_activations(self, count: int) -> None:
+        """Account ``count`` activations performed by a batched driver
+        (the engine's fast loop updates the PRAC array in place)."""
+        self.total_activations += count
 
     def _spread_danger(self, row: int) -> None:
         danger = self._danger
@@ -171,12 +200,19 @@ class Bank:
     # ------------------------------------------------------------------
 
     def touched_rows(self) -> Dict[int, int]:
-        """All rows with a materialized PRAC counter (row -> count)."""
+        """All rows with a materialized PRAC counter (row -> count).
+
+        In the dense layout every row has a (preallocated) counter, so
+        only rows with a nonzero count are reported.
+        """
+        if self.dense_counters:
+            return {row: c for row, c in enumerate(self._prac) if c}
         return dict(self._prac)
 
     def rows_with_prac_at_least(self, threshold: int) -> int:
         """Number of rows whose PRAC counter is >= ``threshold``."""
-        return sum(1 for count in self._prac.values() if count >= threshold)
+        counts = self._prac if self.dense_counters else self._prac.values()
+        return sum(1 for count in counts if count >= threshold)
 
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self.num_rows:

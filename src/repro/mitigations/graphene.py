@@ -11,8 +11,12 @@ corner of the paper's Figure 1(a) that motivates in-DRAM per-row
 counters.
 
 The policy itself reuses the Misra-Gries machinery of
-:class:`repro.mitigations.trr.TrrTracker`; this module adds the
-security-driven sizing rule and the SRAM cost it implies.
+:class:`repro.mitigations.trr.TrrTracker` — preallocated parallel
+(row, count) arrays sized at construction, which matters here because
+secure sizing yields thousands of entries per bank and the
+decrement-all sweep runs over the flat arrays instead of churning a
+dict. This module adds the security-driven sizing rule and the SRAM
+cost it implies.
 """
 
 from __future__ import annotations

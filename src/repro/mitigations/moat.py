@@ -37,7 +37,13 @@ from repro.mitigations.base import MitigationPolicy
 
 @dataclass
 class TrackerEntry:
-    """One CTA-style tracker slot: a row address and its counter copy."""
+    """One CTA-style tracker slot: a row address and its counter copy.
+
+    Kept as the *inspection* view of the tracker: the live tracker
+    state is a pair of preallocated parallel arrays (the hardware's
+    register file), and :attr:`MoatPolicy.tracker` materializes entries
+    on demand.
+    """
 
     row: int
     count: int
@@ -68,52 +74,80 @@ class MoatPolicy(MitigationPolicy):
             raise ValueError("require 0 <= eth <= ath")
         self.level = level
         self.name = f"MOAT-L{level}(ATH={ath},ETH={self.eth})"
-        #: Tracker slots (the CTA register at level 1; L entries at L>1).
-        self.tracker: List[TrackerEntry] = []
+        #: Tracker register file: preallocated parallel arrays (row
+        #: address, counter copy), ``_fill`` slots live. Flat state
+        #: keeps the per-ACT hot path free of object allocation.
+        self._rows: List[int] = [0] * level
+        self._counts: List[int] = [0] * level
+        self._fill = 0
         #: Row currently undergoing proactive mitigation (CMA register).
         self.cma: Optional[int] = None
         #: Count of ALERT requests raised (episodes, not rows).
         self.alerts_requested = 0
 
+    @property
+    def tracker(self) -> List[TrackerEntry]:
+        """Inspection view of the live tracker slots (CTA at level 1)."""
+        return [
+            TrackerEntry(self._rows[i], self._counts[i])
+            for i in range(self._fill)
+        ]
+
     # ------------------------------------------------------------------
     # Tracking
     # ------------------------------------------------------------------
 
-    def _find(self, row: int) -> Optional[TrackerEntry]:
-        for entry in self.tracker:
-            if entry.row == row:
-                return entry
-        return None
+    def _slot_of(self, row: int) -> int:
+        rows = self._rows
+        for i in range(self._fill):
+            if rows[i] == row:
+                return i
+        return -1
+
+    def _insert(self, row: int, count: int, only_if_stronger: bool = False) -> None:
+        """Fill a free slot, or displace the weakest entry (first
+        minimal in slot order, matching hardware replace-minimum).
+
+        With ``only_if_stronger`` the displacement happens only when
+        ``count`` beats the weakest entry (the normal insertion rule);
+        force-tracking displaces unconditionally.
+        """
+        fill = self._fill
+        if fill < self.level:
+            self._rows[fill] = row
+            self._counts[fill] = count
+            self._fill = fill + 1
+            return
+        counts = self._counts
+        weakest = 0
+        for i in range(1, fill):
+            if counts[i] < counts[weakest]:
+                weakest = i
+        if only_if_stronger and count <= counts[weakest]:
+            return
+        self._rows[weakest] = row
+        counts[weakest] = count
 
     def on_activate(self, row: int, count: int) -> None:
-        entry = self._find(row)
-        if entry is not None:
+        slot = self._slot_of(row)
+        if slot >= 0:
             # The tracker keeps a live copy of the row's counter.
-            entry.count = count
+            self._counts[slot] = count
         elif count > self.eth:
-            if len(self.tracker) < self.level:
-                self.tracker.append(TrackerEntry(row, count))
-            else:
-                weakest = min(self.tracker, key=lambda e: e.count)
-                if count > weakest.count:
-                    weakest.row = row
-                    weakest.count = count
+            self._insert(row, count, only_if_stronger=True)
         if count > self.ath and not self.alert_requested:
             # Force-track the offending row so the reactive mitigation
             # is guaranteed to service it.
-            if self._find(row) is None:
-                if len(self.tracker) < self.level:
-                    self.tracker.append(TrackerEntry(row, count))
-                else:
-                    weakest = min(self.tracker, key=lambda e: e.count)
-                    weakest.row = row
-                    weakest.count = count
+            if self._slot_of(row) < 0:
+                self._insert(row, count)
             self.alert_requested = True
             self.alerts_requested += 1
 
     def needs_alert(self) -> bool:
         """A tracked row still above ATH keeps the ALERT condition set."""
-        return any(entry.count > self.ath for entry in self.tracker)
+        ath = self.ath
+        counts = self._counts
+        return any(counts[i] > ath for i in range(self._fill))
 
     # ------------------------------------------------------------------
     # Mitigation selection
@@ -130,13 +164,31 @@ class MoatPolicy(MitigationPolicy):
         proactive-mitigation energy (Table 5).
         """
         completed = self.cma
-        if self.tracker:
-            best = max(self.tracker, key=lambda e: e.count)
-            self.tracker.remove(best)
-            self.cma = best.row
+        if self._fill:
+            best = self._argmax()
+            self.cma = self._rows[best]
+            self._remove_slot(best)
         else:
             self.cma = None
         return completed
+
+    def _argmax(self) -> int:
+        """Slot of the highest count (first maximal in slot order)."""
+        counts = self._counts
+        best = 0
+        for i in range(1, self._fill):
+            if counts[i] > counts[best]:
+                best = i
+        return best
+
+    def _remove_slot(self, slot: int) -> None:
+        """Drop one slot, preserving the order of the others."""
+        fill = self._fill
+        rows, counts = self._rows, self._counts
+        for i in range(slot + 1, fill):
+            rows[i - 1] = rows[i]
+            counts[i - 1] = counts[i]
+        self._fill = fill - 1
 
     def select_reactive(self, max_rows: int) -> List[int]:
         """Pick up to ``max_rows`` rows for the ALERT's RFMs.
@@ -148,20 +200,21 @@ class MoatPolicy(MitigationPolicy):
         CMA is invalidated only if its row was actually mitigated
         (Section 4.2: "Both CTA and CMA are invalidated").
         """
-        ranked = sorted(self.tracker, key=lambda e: e.count, reverse=True)
-        candidates = [entry.row for entry in ranked]
+        counts = self._counts
+        ranked = sorted(range(self._fill), key=lambda i: -counts[i])
+        candidates = [self._rows[i] for i in ranked]
         if self.cma is not None and self.cma not in candidates:
             candidates.append(self.cma)
         rows = candidates[:max_rows]
-        self.tracker = []
+        self._fill = 0
         if self.cma in rows:
             self.cma = None
         return rows
 
     def on_mitigated(self, row: int) -> None:
-        entry = self._find(row)
-        if entry is not None:
-            self.tracker.remove(entry)
+        slot = self._slot_of(row)
+        if slot >= 0:
+            self._remove_slot(slot)
         if self.cma == row:
             self.cma = None
 

@@ -73,6 +73,8 @@ class _PolicyKind:
     builder: PolicyBuilder
     #: Default REF periods per completed proactive mitigation.
     trefi_per_mitigation: int
+    #: One-line description surfaced by ``repro perf --list-policies``.
+    description: str = ""
 
 
 def _build_moat(run: RunParams, index: int, **params: Any) -> MitigationPolicy:
@@ -130,13 +132,34 @@ def _build_null(run: RunParams, index: int, **params: Any) -> MitigationPolicy:
 _REGISTRY: Dict[str, _PolicyKind] = {
     kind.name: kind
     for kind in (
-        _PolicyKind("moat", _build_moat, 5),
-        _PolicyKind("panopticon", _build_panopticon, 4),
-        _PolicyKind("para", _build_para, 1),
-        _PolicyKind("trr", _build_trr, 1),
-        _PolicyKind("graphene", _build_graphene, 1),
-        _PolicyKind("victim-counter", _build_victim_counter, 5),
-        _PolicyKind("null", _build_null, 0),
+        _PolicyKind(
+            "moat", _build_moat, 5,
+            "dual-threshold per-row counters, one tracked entry (paper §4)",
+        ),
+        _PolicyKind(
+            "panopticon", _build_panopticon, 4,
+            "queue-on-threshold per-row counters (paper §2.5)",
+        ),
+        _PolicyKind(
+            "para", _build_para, 1,
+            "probabilistic adjacent-row refresh, stateless",
+        ),
+        _PolicyKind(
+            "trr", _build_trr, 1,
+            "DDR4-era Misra-Gries SRAM tracker (16 entries)",
+        ),
+        _PolicyKind(
+            "graphene", _build_graphene, 1,
+            "securely sized Misra-Gries tracker (Figure 1a corner)",
+        ),
+        _PolicyKind(
+            "victim-counter", _build_victim_counter, 5,
+            "TRR-Ideal per-victim disturbance counters (paper §8)",
+        ),
+        _PolicyKind(
+            "null", _build_null, 0,
+            "unprotected baseline (no tracking, no mitigation)",
+        ),
     )
 }
 
@@ -144,6 +167,21 @@ _REGISTRY: Dict[str, _PolicyKind] = {
 def policy_kinds() -> Tuple[str, ...]:
     """Registered policy kind names."""
     return tuple(_REGISTRY)
+
+
+def policy_descriptions() -> Dict[str, Dict[str, object]]:
+    """Registry-driven summary for CLI listings: ``{kind: {...}}``.
+
+    The CLI renders this directly, so help output can never drift from
+    the registry contents.
+    """
+    return {
+        kind.name: {
+            "description": kind.description,
+            "trefi_per_mitigation": kind.trefi_per_mitigation,
+        }
+        for kind in _REGISTRY.values()
+    }
 
 
 @dataclass(frozen=True)

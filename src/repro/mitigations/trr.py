@@ -11,6 +11,13 @@ rows exceeding ``total_acts / (e + 1)`` activations; an attacker using
 more than ``e`` aggressor (or decoy) rows — TRRespass / Blacksmith
 style — keeps every count near zero and the tracker blind, which is
 exactly what the motivation benchmarks demonstrate.
+
+The table is stored as preallocated parallel arrays (row addresses,
+counts) plus a row-to-slot index — the SRAM register file, not a
+per-row hash. Slot order is insertion order, so the selection and
+eviction tie-breaks are identical to the original dict-backed
+implementation (securely sized Graphene instances carry thousands of
+entries, where the flat decrement-all sweep matters).
 """
 
 from __future__ import annotations
@@ -37,28 +44,69 @@ class TrrTracker(MitigationPolicy):
         self.entries = entries
         self.mitigation_threshold = mitigation_threshold
         self.name = f"TRR({entries} entries)"
-        self._table: Dict[int, int] = {}
+        #: Register file: parallel (row, count) arrays with ``_fill``
+        #: live slots in insertion order, plus a row -> slot index.
+        self._rows: List[int] = [0] * entries
+        self._counts: List[int] = [0] * entries
+        self._fill = 0
+        self._slot: Dict[int, int] = {}
+
+    @property
+    def _table(self) -> Dict[int, int]:
+        """Inspection view: tracked rows -> counts, insertion order."""
+        return {
+            self._rows[i]: self._counts[i] for i in range(self._fill)
+        }
 
     def on_activate(self, row: int, count: int) -> None:
-        table = self._table
-        if row in table:
-            table[row] += 1
-        elif len(table) < self.entries:
-            table[row] = 1
-        else:
-            # Misra-Gries: decrement everyone; drop zeros.
-            for key in list(table):
-                table[key] -= 1
-                if table[key] <= 0:
-                    del table[key]
+        slot = self._slot.get(row)
+        if slot is not None:
+            self._counts[slot] += 1
+            return
+        fill = self._fill
+        if fill < self.entries:
+            self._rows[fill] = row
+            self._counts[fill] = 1
+            self._slot[row] = fill
+            self._fill = fill + 1
+            return
+        # Misra-Gries: decrement everyone; compact out the zeros
+        # (stable, so surviving slots keep their insertion order).
+        rows, counts = self._rows, self._counts
+        keep = 0
+        for i in range(fill):
+            c = counts[i] - 1
+            if c > 0:
+                rows[keep] = rows[i]
+                counts[keep] = c
+                keep += 1
+        if keep != fill:
+            self._fill = keep
+            self._reindex()
+
+    def _reindex(self) -> None:
+        self._slot.clear()
+        for i in range(self._fill):
+            self._slot[self._rows[i]] = i
 
     def select_proactive(self) -> Optional[int]:
-        if not self._table:
+        fill = self._fill
+        if not fill:
             return None
-        row, count = max(self._table.items(), key=lambda item: item[1])
-        if count < self.mitigation_threshold:
+        counts = self._counts
+        best = 0
+        for i in range(1, fill):
+            if counts[i] > counts[best]:
+                best = i
+        if counts[best] < self.mitigation_threshold:
             return None
-        del self._table[row]
+        rows = self._rows
+        row = rows[best]
+        for i in range(best + 1, fill):
+            rows[i - 1] = rows[i]
+            counts[i - 1] = counts[i]
+        self._fill = fill - 1
+        self._reindex()
         return row
 
     def select_reactive(self, max_rows: int) -> List[int]:

@@ -4,7 +4,9 @@ The paper contrasts MOAT's *activation counting* with ProTRR's
 hypothetical TRR-Ideal, which (a) keeps a counter per *victim* row,
 (b) increments the counters of all four neighbours on each activation,
 and (c) refreshes the row with the globally maximal victim count at
-each mitigation opportunity.
+each mitigation opportunity. The simulation stores the counters in a
+preallocated :class:`~repro.mitigations.base.CounterTable` (one flat
+slot per row), mirroring the design's per-row storage.
 
 Victim counting has one semantic advantage activation counting lacks:
 a victim squeezed between two aggressors (double-sided hammering)
@@ -24,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.mitigations.base import MitigationPolicy
+from repro.mitigations.base import CounterTable, MitigationPolicy
 
 
 class VictimCounterPolicy(MitigationPolicy):
@@ -55,26 +57,33 @@ class VictimCounterPolicy(MitigationPolicy):
         self.blast_radius = blast_radius
         self.eth = eth
         self.num_rows = num_rows
-        #: Disturbance count per victim row.
-        self.victim_counts: Dict[int, int] = {}
+        #: Disturbance counters: one preallocated slot per victim row
+        #: (dict-order semantics preserved — see CounterTable).
+        self._table = CounterTable(num_rows)
+
+    @property
+    def victim_counts(self) -> Dict[int, int]:
+        """Tracked victim counters as a dict (inspection view)."""
+        return self._table.as_dict()
 
     def on_activate(self, row: int, count: int) -> None:
         # ``count`` is the aggressor's activation count; victim
         # counting ignores it and charges the neighbours instead.
         low = max(0, row - self.blast_radius)
         high = min(self.num_rows - 1, row + self.blast_radius)
-        counts = self.victim_counts
+        increment = self._table.increment
         for victim in range(low, high + 1):
             if victim != row:
-                counts[victim] = counts.get(victim, 0) + 1
+                increment(victim)
 
     def select_proactive(self) -> Optional[int]:
-        if not self.victim_counts:
+        found = self._table.argmax()
+        if found is None:
             return None
-        victim, count = max(self.victim_counts.items(), key=lambda kv: kv[1])
+        victim, count = found
         if count <= self.eth:
             return None
-        del self.victim_counts[victim]
+        self._table.remove(victim)
         return victim
 
     def select_reactive(self, max_rows: int) -> List[int]:
@@ -82,12 +91,13 @@ class VictimCounterPolicy(MitigationPolicy):
 
     def on_ref(self, refreshed_rows: List[int]) -> None:
         # A refreshed victim's disturbance counter resets with its data.
+        remove = self._table.remove
         for row in refreshed_rows:
-            self.victim_counts.pop(row, None)
+            remove(row)
 
     def max_victim_count(self) -> int:
         """Largest tracked disturbance count (for tests/analysis)."""
-        return max(self.victim_counts.values(), default=0)
+        return self._table.max_count()
 
     def sram_bytes(self) -> int:
         """Not SRAM-implementable: needs a counter per row plus a

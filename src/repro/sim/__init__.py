@@ -1,12 +1,15 @@
-"""Simulation engines: security-accurate sub-channel simulator and the
+"""Simulation engines: the channel/sub-channel/bank hierarchy and the
 workload-driven performance front-end."""
 
+from repro.sim.channel import ChannelConfig, ChannelSim
 from repro.sim.engine import ActResult, SimConfig, SubchannelSim
 from repro.sim.mapping import AddressMapping, CoffeeLakeMapping
 from repro.sim.cache import SetAssociativeCache
 
 __all__ = [
     "ActResult",
+    "ChannelConfig",
+    "ChannelSim",
     "SimConfig",
     "SubchannelSim",
     "AddressMapping",

@@ -1,0 +1,244 @@
+"""Channel-level simulation: N sub-channels behind one command front.
+
+The paper evaluates per sub-channel, but its arguments (tFAW-limited
+ACT rates, ALERT scope, sub-channel ABO) are about a full DDR5 channel:
+two 32-bit sub-channels that operate independently except for the
+memory controller's shared command-issue front-end. :class:`ChannelSim`
+composes that hierarchy explicitly:
+
+* **Channel** — owns the sub-channels, demultiplexes physical-address
+  traffic through an :class:`~repro.sim.mapping.AddressMapping`, and
+  enforces the cross-sub-channel command-issue constraint: the MC
+  issues at most one command per ``t_cmd_gap``, so commands to
+  *different* sub-channels still contend for issue slots.
+* **Sub-channel** — one :class:`~repro.sim.engine.SubchannelSim` per
+  sub-channel: the clock, REF stream, ABO/ALERT machinery, and banks.
+* **Bank** — per-row PRAC counters plus one mitigation policy each.
+
+The default command gap is ``t_issue_gap / num_subchannels`` (the MC
+issue rate scales with the channel width), which makes a one-sub-channel
+channel *bit-identical* to a bare :class:`SubchannelSim`: the channel
+floor then always coincides with the sub-channel's own issue-gap
+constraint. The equivalence is load-bearing — the performance front-end
+routes everything through :class:`ChannelSim`, and the committed sweep
+baselines predate it.
+
+Batched traffic (:meth:`ChannelSim.activate_many`) applies the
+cross-sub-channel constraint at batch granularity: the batch's first
+command waits for the channel's command front, and the batch then owns
+the front until it completes. Per-command interleaving across
+sub-channels uses :meth:`ChannelSim.access` / :meth:`ChannelSim.activate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.mitigations.base import MitigationPolicy
+from repro.sim.engine import ActResult, SimConfig, SubchannelSim
+from repro.sim.mapping import AddressMapping
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Static configuration of a channel simulation.
+
+    Args:
+        sim: Per-sub-channel configuration (every sub-channel is
+            identical, as in the paper's Table 3 system).
+        num_subchannels: Sub-channels in the channel (DDR5: 2).
+        mapping: Optional address mapping for physical-address traffic
+            (:meth:`ChannelSim.access`). When provided, its geometry
+            must agree with ``sim`` — see :meth:`validate_mapping`.
+        t_cmd_gap: Minimum time between commands issued by the channel
+            front-end, across all sub-channels. ``None`` (default)
+            resolves to ``sim.t_issue_gap / num_subchannels``.
+    """
+
+    sim: SimConfig = field(default_factory=SimConfig)
+    num_subchannels: int = 1
+    mapping: Optional[AddressMapping] = None
+    t_cmd_gap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_subchannels < 1:
+            raise ValueError("num_subchannels must be at least 1")
+        if self.mapping is not None:
+            self.validate_mapping(self.mapping)
+
+    def validate_mapping(self, mapping: AddressMapping) -> None:
+        """Guard that the mapping's geometry matches the simulation.
+
+        A mapping that decodes more banks (or sub-channels) than the
+        simulation instantiates would silently fold distinct DRAM
+        resources onto one simulated structure and corrupt every
+        per-bank counter, so the mismatch is an error, not a warning.
+        """
+        if mapping.num_banks != self.sim.num_banks:
+            raise ValueError(
+                f"mapping decodes {mapping.num_banks} banks but "
+                f"SimConfig.num_banks is {self.sim.num_banks}"
+            )
+        if mapping.num_subchannels != self.num_subchannels:
+            raise ValueError(
+                f"mapping decodes {mapping.num_subchannels} sub-channels "
+                f"but the channel has {self.num_subchannels}"
+            )
+        rows = 1 << mapping.row_bits
+        if rows != self.sim.rows_per_bank:
+            raise ValueError(
+                f"mapping decodes {rows} rows per bank but "
+                f"SimConfig.rows_per_bank is {self.sim.rows_per_bank}"
+            )
+
+    @property
+    def t_cmd_gap_resolved(self) -> float:
+        """Command gap with the width-scaled default applied."""
+        if self.t_cmd_gap is not None:
+            return self.t_cmd_gap
+        return self.sim.t_issue_gap / self.num_subchannels
+
+
+class ChannelSim:
+    """Event-ordered simulator of one DDR5 channel.
+
+    Args:
+        config: Channel and per-sub-channel parameters.
+        policy_factory: Builds one mitigation policy per bank; called
+            sub-channel by sub-channel, bank by bank (so stateful
+            factories see a deterministic instance order).
+    """
+
+    def __init__(
+        self,
+        config: ChannelConfig,
+        policy_factory: Callable[[], MitigationPolicy],
+    ) -> None:
+        self.config = config
+        self.subchannels: List[SubchannelSim] = [
+            SubchannelSim(config.sim, policy_factory)
+            for _ in range(config.num_subchannels)
+        ]
+        self.mapping = config.mapping
+        self._t_cmd_gap = config.t_cmd_gap_resolved
+        #: Earliest time the channel front-end may issue a command.
+        self._cmd_free = 0.0
+
+    # ------------------------------------------------------------------
+    # Traffic entry points
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int) -> ActResult:
+        """Activate the row a physical byte address decodes to.
+
+        Requires a configured mapping; the decoded sub-channel and bank
+        route the command, the column is ignored (closed-page policy:
+        every access is an ACT).
+        """
+        if self.mapping is None:
+            raise ValueError("ChannelConfig.mapping is required for access()")
+        decoded = self.mapping.decode(addr)
+        return self.activate(decoded.row, bank=decoded.bank, subchannel=decoded.subchannel)
+
+    def activate(self, row: int, bank: int = 0, subchannel: int = 0) -> ActResult:
+        """Issue one ACT through the channel command front-end."""
+        sub = self.subchannels[subchannel]
+        result = sub.activate(row, bank=bank, not_before=self._cmd_free)
+        self._cmd_free = result.time + self._t_cmd_gap
+        return result
+
+    def activate_many(
+        self, rows: List[int], bank: int = 0, subchannel: int = 0
+    ) -> Optional[float]:
+        """Issue a batch of ACTs to one (sub-channel, bank).
+
+        The cross-sub-channel constraint applies at batch granularity
+        (see module docstring); returns the last issue time.
+        """
+        sub = self.subchannels[subchannel]
+        last = sub.activate_many(rows, bank=bank, not_before=self._cmd_free)
+        if last is not None:
+            self._cmd_free = last + self._t_cmd_gap
+        return last
+
+    # ------------------------------------------------------------------
+    # Clock control
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Channel time: the furthest sub-channel clock."""
+        return max(sub.now for sub in self.subchannels)
+
+    def advance_to(self, time: float) -> None:
+        """Advance every sub-channel's clock, retiring its events."""
+        for sub in self.subchannels:
+            sub.advance_to(time)
+
+    def idle(self, duration: float) -> None:
+        """Let wall-clock time pass on every sub-channel."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.advance_to(self.now + duration)
+
+    def flush(self) -> None:
+        """Retire unprocessed ALERT episodes on every sub-channel."""
+        for sub in self.subchannels:
+            sub.flush()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def subchannel(self) -> SubchannelSim:
+        """The first sub-channel (single-sub-channel convenience)."""
+        return self.subchannels[0]
+
+    @property
+    def total_acts(self) -> int:
+        return sum(sub.total_acts for sub in self.subchannels)
+
+    @property
+    def alerts(self) -> int:
+        return sum(sub.alerts for sub in self.subchannels)
+
+    @property
+    def refs(self) -> int:
+        return sum(sub.refs for sub in self.subchannels)
+
+    @property
+    def proactive_count(self) -> int:
+        return sum(sub.proactive_count for sub in self.subchannels)
+
+    @property
+    def reactive_count(self) -> int:
+        return sum(sub.reactive_count for sub in self.subchannels)
+
+    @property
+    def mitigation_activations(self) -> int:
+        return sum(
+            bank.mitigation_activations
+            for sub in self.subchannels
+            for bank in sub.banks
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """Channel-level summary: sums over sub-channels, max danger."""
+        return {
+            "time_ns": self.now,
+            "subchannels": float(len(self.subchannels)),
+            "total_acts": float(self.total_acts),
+            "refs": float(self.refs),
+            "alerts": float(self.alerts),
+            "proactive_mitigations": float(self.proactive_count),
+            "reactive_mitigations": float(self.reactive_count),
+            "max_danger": float(
+                max(
+                    bank.max_danger
+                    for sub in self.subchannels
+                    for bank in sub.banks
+                )
+            ),
+        }

@@ -72,6 +72,12 @@ class SimConfig:
     #: The associated sub-channel stall is accounted separately by the
     #: performance front-end. ``None`` disables injection.
     external_service_interval_ns: Optional[float] = None
+    #: Store per-row PRAC counters in preallocated flat arrays instead
+    #: of sparse dicts (see :class:`~repro.dram.bank.Bank`). Enables
+    #: the fast inner loop of :meth:`SubchannelSim.activate_many`;
+    #: counter semantics are identical either way. Incompatible with
+    #: ``initial_counter``.
+    dense_counters: bool = False
 
 
 @dataclass(frozen=True)
@@ -115,6 +121,7 @@ class SubchannelSim:
                 blast_radius=config.blast_radius,
                 track_danger=config.track_danger,
                 initial_counter=config.initial_counter,
+                dense_counters=config.dense_counters,
             )
             for _ in range(config.num_banks)
         ]
@@ -170,14 +177,21 @@ class SubchannelSim:
     # Public driving interface
     # ------------------------------------------------------------------
 
-    def activate(self, row: int, bank: int = 0) -> ActResult:
+    def activate(self, row: int, bank: int = 0, not_before: float = 0.0) -> ActResult:
         """Issue one ACT; returns its issue time and observed count.
 
         The engine first retires every scheduled event (REFs, pending
         ALERT processing) that precedes the ACT, then applies timing
         constraints (tRC per bank, issue gap, ALERT window/stall).
+
+        Args:
+            row: Row to activate.
+            bank: Target bank index.
+            not_before: External floor on the issue time — the channel
+                layer uses it to enforce cross-subchannel command-issue
+                constraints without disturbing event processing.
         """
-        start = max(self.now, self._channel_free, self._bank_free[bank])
+        start = max(self.now, self._channel_free, self._bank_free[bank], not_before)
         start = self._resolve_start(start)
 
         bank_obj = self.banks[bank]
@@ -200,6 +214,104 @@ class SubchannelSim:
         # ALERT asserts during the precharge of the triggering ACT.
         self._maybe_assert_alert(complete)
         return ActResult(time=start, count=effective, alert_pending=self.abo.alert_pending)
+
+    def activate_many(
+        self, rows: List[int], bank: int = 0, not_before: float = 0.0
+    ) -> Optional[float]:
+        """Issue a batch of ACTs to one bank; returns the last issue time.
+
+        Semantically identical to calling :meth:`activate` once per row
+        (same event interleaving, same policy observations, same
+        statistics) minus the per-ACT :class:`ActResult`. When the bank
+        uses dense counters and danger tracking is off, runs spans
+        between scheduled events (REF boundaries, external services,
+        ALERT episodes) through a flat-array inner loop that skips the
+        per-ACT method-call chain; any ACT that may interact with an
+        event falls back to :meth:`activate`.
+        """
+        if not rows:
+            return None
+        last_start: Optional[float] = None
+        bank_obj = self.banks[bank]
+        if not bank_obj.dense_counters or bank_obj.track_danger:
+            for row in rows:
+                last_start = self.activate(row, bank, not_before).time
+            return last_start
+
+        t_rc = self._t_rc
+        gap = self._t_issue_gap
+        prac = bank_obj._prac
+        shadow = self.refresh[bank].shadow
+        policy = self.policies[bank]
+        on_activate = policy.on_activate
+        abo = self.abo
+        i = 0
+        n = len(rows)
+        while i < n:
+            if abo.alert_pending:
+                # A latched request may assert on any ACT: stay on the
+                # slow path until the episode machinery settles.
+                last_start = self.activate(rows[i], bank, not_before).time
+                i += 1
+                continue
+            # Snapshot event state; valid until the next slow-path call.
+            now = self.now
+            channel_free = self._channel_free
+            bank_free = self._bank_free[bank]
+            next_ref = self._next_ref
+            next_external = self._next_external
+            episode = self._episode
+            window_end = (
+                episode.window_end
+                if episode is not None and not episode.processed
+                else float("inf")
+            )
+            acts = 0
+            alerting = False
+            while i < n:
+                start = now if now > channel_free else channel_free
+                if bank_free > start:
+                    start = bank_free
+                if not_before > start:
+                    start = not_before
+                complete = start + t_rc
+                if next_ref < complete or next_external <= start or complete > window_end:
+                    break
+                row = rows[i]
+                count = prac[row] + 1
+                prac[row] = count
+                if shadow and row in shadow:
+                    count = shadow[row] + 1
+                    shadow[row] = count
+                i += 1
+                acts += 1
+                now = start
+                last_start = start
+                channel_free = start + gap
+                bank_free = complete
+                on_activate(row, count)
+                if policy.alert_requested:
+                    alerting = True
+                    break
+            self.now = now
+            self._channel_free = channel_free
+            self._bank_free[bank] = bank_free
+            if acts:
+                self.total_acts += acts
+                bank_obj.note_activations(acts)
+                abo.note_activations(acts)
+            if alerting:
+                policy.alert_requested = False
+                abo.request_alert()
+                # The ALERT asserts during the precharge of the
+                # triggering ACT, exactly as in activate().
+                self._maybe_assert_alert(bank_free)
+                continue
+            if acts == 0 and i < n:
+                # Next ACT overlaps a scheduled event: slow path for one.
+                last_start = self.activate(rows[i], bank, not_before).time
+                i += 1
+        return last_start
 
     def idle(self, duration: float) -> None:
         """Let wall-clock time pass with no commands issued."""

@@ -67,6 +67,12 @@ class AddressMapping:
     def num_banks(self) -> int:
         return 1 << len(self.bank_functions)
 
+    @property
+    def num_subchannels(self) -> int:
+        """Sub-channels addressed by the mapping (the sub-channel index
+        is one XOR hash, so 2 when any bits feed it, else 1)."""
+        return 2 if self.subchannel_bits else 1
+
     def decode(self, addr: int) -> DramAddress:
         """Decode a byte address into DRAM coordinates."""
         if addr < 0:

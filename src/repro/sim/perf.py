@@ -1,8 +1,12 @@
 """Workload-driven performance evaluation front-end.
 
-Feeds a synthetic activation schedule (one or more banks) through the
-sub-channel simulator with a mitigation policy and reports the paper's
-evaluation metrics:
+Feeds a synthetic activation schedule (one or more banks, one or more
+sub-channels) through the channel simulation hierarchy
+(:class:`~repro.sim.channel.ChannelSim` over
+:class:`~repro.sim.engine.SubchannelSim`) with a mitigation policy,
+using the engine's batched ``activate_many`` hot path, and reports the
+paper's evaluation metrics. Recorded physical-address traces run
+through the same machinery via :func:`run_trace`. Metrics:
 
 * ALERTs per tREFI per sub-channel (Figure 11b / 17b) — per-bank alert
   counts scaled to the 32 banks of a sub-channel.
@@ -32,8 +36,12 @@ from typing import Dict, Optional
 from repro.dram.refresh import CounterResetPolicy
 from repro.dram.timing import DramTiming, DDR5_PRAC_TIMING
 from repro.mitigations.registry import PolicySpec, RunParams
-from repro.sim.engine import SimConfig, SubchannelSim
-from repro.workloads.generator import ActivationSchedule, generate_schedule
+from repro.sim.channel import ChannelConfig, ChannelSim
+from repro.sim.engine import SimConfig
+from repro.workloads.generator import (
+    ActivationSchedule,
+    generate_channel_schedules,
+)
 from repro.workloads.profiles import WorkloadProfile
 
 
@@ -52,6 +60,11 @@ class RunConfig:
     trefi_per_mitigation: Optional[int] = None
     banks_simulated: int = 1
     banks_per_subchannel: int = 32
+    #: Sub-channels simulated per run. Each sub-channel carries its own
+    #: ``banks_simulated`` banks with independent schedule draws; the
+    #: channel front-end arbitrates command issue across them. ``1``
+    #: reproduces the original single-sub-channel runs bit-for-bit.
+    subchannels: int = 1
     n_trefi: int = 8192
     seed: int = 0
     timing: DramTiming = field(default_factory=lambda: DDR5_PRAC_TIMING)
@@ -100,18 +113,24 @@ class PerfResult:
     elapsed_ns: float
     stall_ns: float
     policy: str = "moat"
+    #: Sub-channels simulated; counters (``alerts``, ``total_acts``,
+    #: ``stall_ns``...) are totals across all of them, and the
+    #: per-sub-channel metrics below divide the totals back out.
+    subchannels: int = 1
 
     @property
     def alerts_per_trefi(self) -> float:
         """ALERTs per tREFI per sub-channel (Figure 11b metric)."""
         scale = self.banks_per_subchannel / self.banks_simulated
-        return self.alerts * scale / self.n_trefi
+        return self.alerts * scale / self.n_trefi / self.subchannels
 
     @property
     def slowdown(self) -> float:
         """Sub-channel stall fraction from ALERTs (Figure 11a metric)."""
+        if not self.elapsed_ns:
+            return 0.0
         scale = self.banks_per_subchannel / self.banks_simulated
-        return (self.stall_ns * scale) / self.elapsed_ns if self.elapsed_ns else 0.0
+        return (self.stall_ns * scale / self.subchannels) / self.elapsed_ns
 
     @property
     def normalized_performance(self) -> float:
@@ -121,7 +140,8 @@ class PerfResult:
     def mitigations_per_trefw_per_bank(self) -> float:
         """Proactive mitigations + ALERTs per tREFW per bank (Table 5)."""
         window_fraction = self.n_trefi / 8192.0
-        per_bank = (self.proactive_mitigations + self.alerts) / self.banks_simulated
+        banks = self.banks_simulated * self.subchannels
+        per_bank = (self.proactive_mitigations + self.alerts) / banks
         return per_bank / window_fraction
 
     @property
@@ -157,23 +177,23 @@ def run_workload(
         profile: Table 4 workload profile.
         config: Policy and simulation parameters.
         schedule: Pre-generated schedule for bank 0 (one is generated
-            per bank otherwise; supplying one forces single-bank mode).
+            per (sub-channel, bank) otherwise; supplying one forces
+            single-bank, single-sub-channel mode).
     """
-    banks = 1 if schedule is not None else config.banks_simulated
-    schedules = (
-        [schedule]
-        if schedule is not None
-        else [
-            generate_schedule(
-                profile,
-                n_trefi=config.n_trefi,
-                seed=config.seed + bank,
-            )
-            for bank in range(banks)
-        ]
-    )
+    if schedule is not None:
+        banks, subchannels = 1, 1
+        schedules = [[schedule]]
+    else:
+        banks, subchannels = config.banks_simulated, config.subchannels
+        schedules = generate_channel_schedules(
+            profile,
+            num_subchannels=subchannels,
+            banks_per_subchannel=banks,
+            n_trefi=config.n_trefi,
+            seed=config.seed,
+        )
 
-    result = _run_once(profile, config, schedules, banks, None)
+    result = _run_once(profile, config, schedules, banks, subchannels, None)
     if not config.model_cross_bank_service or result.alerts == 0:
         return result
 
@@ -190,15 +210,17 @@ def run_workload(
     # over-injected zero-alert run, since f(0) > 0 implies the
     # equilibrium rate is strictly positive.
     other_banks = config.banks_per_subchannel - banks
-    unaided = result.alerts / banks / result.elapsed_ns
+    sim_banks = banks * subchannels
+    unaided = result.alerts / sim_banks / result.elapsed_ns
     log_lo = math.log(unaided / (4.0 * config.banks_per_subchannel))
     log_hi = math.log(unaided)
     for _ in range(config.fixed_point_iterations):
         target = math.exp((log_lo + log_hi) / 2.0)
         candidate = _run_once(
-            profile, config, schedules, banks, 1.0 / (other_banks * target)
+            profile, config, schedules, banks, subchannels,
+            1.0 / (other_banks * target),
         )
-        measured = candidate.alerts / banks / candidate.elapsed_ns
+        measured = candidate.alerts / sim_banks / candidate.elapsed_ns
         if measured > target:
             log_lo = math.log(target)
         else:
@@ -207,7 +229,8 @@ def run_workload(
     # reported equilibrium (never an extrapolated or fudged number).
     equilibrium = math.exp((log_lo + log_hi) / 2.0)
     return _run_once(
-        profile, config, schedules, banks, 1.0 / (other_banks * equilibrium)
+        profile, config, schedules, banks, subchannels,
+        1.0 / (other_banks * equilibrium),
     )
 
 
@@ -216,8 +239,10 @@ def _run_once(
     config: RunConfig,
     schedules,
     banks: int,
+    subchannels: int,
     external_interval: Optional[float],
 ) -> PerfResult:
+    """One channel run over pre-generated ``schedules[sub][bank]``."""
     sim_config = SimConfig(
         timing=config.timing,
         num_banks=banks,
@@ -228,6 +253,7 @@ def _run_once(
         abo_level=config.abo_level,
         track_danger=False,
         external_service_interval_ns=external_interval,
+        dense_counters=True,
     )
     eth = config.eth_resolved
     run_params = RunParams(
@@ -237,37 +263,134 @@ def _run_once(
         seed=config.seed,
         timing=config.timing,
     )
-    sim = SubchannelSim(sim_config, config.policy.make_factory(run_params))
-    n_trefi = schedules[0].n_trefi
+    channel = ChannelSim(
+        ChannelConfig(sim=sim_config, num_subchannels=subchannels),
+        config.policy.make_factory(run_params),
+    )
+    n_trefi = schedules[0][0].n_trefi
     trefi = config.timing.t_refi
 
     for interval in range(n_trefi):
         target = interval * trefi
-        if sim.now < target:
-            sim.advance_to(target)
-        for bank, sched in enumerate(schedules):
-            if interval < sched.n_trefi:
-                for row in sched.per_trefi[interval]:
-                    sim.activate(row, bank=bank)
-    sim.flush()
+        if channel.now < target:
+            channel.advance_to(target)
+        for sub, bank_schedules in enumerate(schedules):
+            for bank, sched in enumerate(bank_schedules):
+                if interval < sched.n_trefi:
+                    channel.activate_many(
+                        sched.per_trefi[interval], bank=bank, subchannel=sub
+                    )
+    channel.flush()
 
-    stall_ns = sim.alerts * config.abo_level * config.timing.t_rfm
+    stall_ns = channel.alerts * config.abo_level * config.timing.t_rfm
     return PerfResult(
         workload=profile.name,
         ath=config.ath,
         eth=eth,
         abo_level=config.abo_level,
-        alerts=sim.alerts,
+        alerts=channel.alerts,
         n_trefi=n_trefi,
         banks_simulated=banks,
         banks_per_subchannel=config.banks_per_subchannel,
-        total_acts=sim.total_acts,
-        mitigation_acts=sum(b.mitigation_activations for b in sim.banks),
-        proactive_mitigations=sim.proactive_count,
-        reactive_mitigations=sim.reactive_count,
-        elapsed_ns=max(sim.now, n_trefi * trefi),
+        total_acts=channel.total_acts,
+        mitigation_acts=channel.mitigation_activations,
+        proactive_mitigations=channel.proactive_count,
+        reactive_mitigations=channel.reactive_count,
+        elapsed_ns=max(channel.now, n_trefi * trefi),
         stall_ns=stall_ns,
         policy=config.policy.display_name(),
+        subchannels=subchannels,
+    )
+
+
+def run_trace(
+    trace,
+    config: RunConfig = RunConfig(),
+    mapping=None,
+    honor_timing: bool = True,
+) -> PerfResult:
+    """Replay a physical-address trace as a first-class workload.
+
+    Builds a channel whose geometry matches the mapping (every bank of
+    every sub-channel simulated, so no cross-bank service modelling is
+    needed — partial-simulation scaling factors all collapse to 1),
+    replays the trace through it, and reports the standard
+    :class:`PerfResult` metrics over the replayed duration.
+
+    Args:
+        trace: A :class:`repro.trace.AddressTrace`.
+        config: Policy parameters (ATH/ETH/level/policy/cadence); the
+            scale fields (``banks_simulated``, ``subchannels``,
+            ``n_trefi``) are taken from the mapping and trace instead.
+        mapping: Address mapping used to demultiplex the trace
+            (default: :class:`~repro.sim.mapping.CoffeeLakeMapping`).
+        honor_timing: See :func:`repro.trace.replay_addresses`.
+    """
+    from repro.sim.mapping import CoffeeLakeMapping
+    from repro.trace import replay_addresses
+
+    if mapping is None:
+        mapping = CoffeeLakeMapping()
+    sim_config = SimConfig(
+        timing=config.timing,
+        num_banks=mapping.num_banks,
+        rows_per_bank=1 << mapping.row_bits,
+        num_refresh_groups=8192,
+        reset_policy=CounterResetPolicy.SAFE,
+        trefi_per_mitigation=config.trefi_per_mitigation_resolved,
+        abo_level=config.abo_level,
+        track_danger=False,
+        dense_counters=True,
+    )
+    eth = config.eth_resolved
+    run_params = RunParams(
+        ath=config.ath,
+        eth=eth,
+        abo_level=config.abo_level,
+        seed=config.seed,
+        timing=config.timing,
+    )
+    channel = ChannelSim(
+        ChannelConfig(
+            sim=sim_config,
+            num_subchannels=mapping.num_subchannels,
+            mapping=mapping,
+        ),
+        config.policy.make_factory(run_params),
+    )
+    replay_addresses(trace, channel, honor_timing=honor_timing)
+
+    trefi = config.timing.t_refi
+    elapsed_ns = max(channel.now, trace.duration_ns)
+    # Normalize the per-tREFI metrics over the trace's *logical* window
+    # (recorded by the synthesizer), matching how synthetic runs use
+    # the schedule length; replay dilation — a saturated channel
+    # overflowing past interval boundaries — must not deflate them.
+    # Traces without the metadata fall back to the replayed duration.
+    meta_trefi = trace.metadata.get("n_trefi")
+    if isinstance(meta_trefi, (int, float)) and meta_trefi >= 1:
+        n_trefi = int(meta_trefi)
+    else:
+        n_trefi = max(1, int(elapsed_ns // trefi))
+    stall_ns = channel.alerts * config.abo_level * config.timing.t_rfm
+    name = str(trace.metadata.get("workload", "trace"))
+    return PerfResult(
+        workload=name,
+        ath=config.ath,
+        eth=eth,
+        abo_level=config.abo_level,
+        alerts=channel.alerts,
+        n_trefi=n_trefi,
+        banks_simulated=mapping.num_banks,
+        banks_per_subchannel=mapping.num_banks,
+        total_acts=channel.total_acts,
+        mitigation_acts=channel.mitigation_activations,
+        proactive_mitigations=channel.proactive_count,
+        reactive_mitigations=channel.reactive_count,
+        elapsed_ns=elapsed_ns,
+        stall_ns=stall_ns,
+        policy=config.policy.display_name(),
+        subchannels=mapping.num_subchannels,
     )
 
 

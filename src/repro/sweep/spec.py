@@ -46,6 +46,12 @@ ALL_WORKLOADS: Tuple[str, ...] = tuple(p.name for p in TABLE4_PROFILES)
 #: way that invalidates previously cached sweep points.
 RESULT_VERSION = 1
 
+#: Axes added after the first baselines were committed, mapped to the
+#: neutral value at which they leave the simulation unchanged. A config
+#: whose axis sits at the neutral value hashes (and keys) identically
+#: to a config predating the axis.
+_NEUTRAL_AXES = {"subchannels": 1}
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -56,13 +62,18 @@ class SweepPoint:
 
     @property
     def key(self) -> str:
-        """Stable human-readable identity (artifact/baseline key)."""
+        """Stable human-readable identity (artifact/baseline key).
+
+        Like :meth:`config_hash`, additive axes only appear at
+        non-neutral values, so pre-existing baseline keys stay valid.
+        """
         c = self.config
+        sc = f"|sc={c.subchannels}" if c.subchannels != 1 else ""
         return (
             f"{self.workload}|{c.policy.display_name()}"
             f"|ath={c.ath}|eth={c.eth_resolved}|L{c.abo_level}"
             f"|tpm={c.trefi_per_mitigation_resolved}"
-            f"|trefi={c.n_trefi}|seed={c.seed}"
+            f"{sc}|trefi={c.n_trefi}|seed={c.seed}"
         )
 
     def config_hash(self) -> str:
@@ -73,10 +84,21 @@ class SweepPoint:
         native rate), so a point spelled ``eth=None`` and one spelled
         ``eth=32`` — identical simulations — share one cache entry and
         one baseline identity, matching the resolved point key.
+
+        Additive axes hash out at their neutral value (see
+        :data:`_NEUTRAL_AXES`): a ``subchannels=1`` run is the same
+        simulation the pre-channel engine performed, so it must keep
+        the same identity — that is what lets committed baselines and
+        cached points survive the axis being introduced, and what makes
+        the baseline gate double as a bit-identity check across the
+        refactor.
         """
         config = _canonical(self.config)
         config["eth"] = self.config.eth_resolved
         config["trefi_per_mitigation"] = self.config.trefi_per_mitigation_resolved
+        for name, neutral in _NEUTRAL_AXES.items():
+            if config.get(name) == neutral:
+                del config[name]
         payload = {
             "version": RESULT_VERSION,
             "workload": self.workload,
@@ -112,6 +134,8 @@ class SweepSpec:
     abo_level: Tuple[int, ...] = (1,)
     trefi_per_mitigation: Tuple[Optional[int], ...] = (None,)
     policies: Tuple[PolicySpec, ...] = (PolicySpec(),)
+    #: Sub-channels per simulated channel (the ChannelSim axis).
+    subchannels: Tuple[int, ...] = (1,)
     n_trefi: int = 8192
     seed: int = 0
     model_cross_bank_service: bool = True
@@ -129,13 +153,14 @@ class SweepSpec:
         """
         out: List[SweepPoint] = []
         seen: set = set()
-        for workload, policy, ath, eth, level, tpm in itertools.product(
+        for workload, policy, ath, eth, level, tpm, sc in itertools.product(
             self.workloads,
             self.policies,
             self.ath,
             self.eth,
             self.abo_level,
             self.trefi_per_mitigation,
+            self.subchannels,
         ):
             config = RunConfig(
                 ath=ath,
@@ -143,6 +168,7 @@ class SweepSpec:
                 abo_level=level,
                 policy=policy,
                 trefi_per_mitigation=tpm,
+                subchannels=sc,
                 n_trefi=self.n_trefi,
                 seed=self.seed,
                 model_cross_bank_service=self.model_cross_bank_service,
@@ -230,6 +256,12 @@ PRESETS: Dict[str, SweepSpec] = {
             description="Every implemented mitigation policy on the "
             "sweep workload subset at ATH=64",
             policies=ABLATION_POLICIES,
+        ),
+        SweepSpec(
+            name="channel",
+            description="Channel-hierarchy scaling: the sweep subset "
+            "through ChannelSim at 1 and 2 sub-channels",
+            subchannels=(1, 2),
         ),
     )
 }

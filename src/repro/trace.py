@@ -1,14 +1,29 @@
-"""Activation-trace recording and replay.
+"""Activation- and address-trace recording and replay.
 
-Traces let you capture the exact activation stream an attack or
-workload produced (with issue timestamps and per-event defense-visible
-counts), persist it as JSON-lines, and replay it against a different
+Traces let you capture the exact memory stream an attack or workload
+produced, persist it as JSON-lines, and replay it against a different
 mitigation configuration — e.g. record a Jailbreak execution against
 Panopticon and replay it against MOAT to show the pattern is harmless
 there.
 
-Format: one JSON object per line, ``{"t": <issue_ns>, "b": <bank>,
-"r": <row>}``; a header line carries metadata.
+Two trace kinds exist, matching the two layers of the simulation
+hierarchy:
+
+* :class:`ActivationTrace` — DRAM-coordinate events ``(time, bank,
+  row)``, replayed into one :class:`~repro.sim.engine.SubchannelSim`
+  (format v1: ``{"t": <issue_ns>, "b": <bank>, "r": <row>}``).
+* :class:`AddressTrace` — physical byte-address events ``(time,
+  addr)``, replayed into a :class:`~repro.sim.channel.ChannelSim`
+  whose address mapping demultiplexes each access to its sub-channel,
+  bank, and row (format v2: ``{"t": <issue_ns>, "a": <addr>}``).
+  This is the first-class workload path: the performance front-end
+  (:func:`repro.sim.perf.run_trace`) turns a replayed address trace
+  into the same :class:`~repro.sim.perf.PerfResult` metrics a
+  synthetic workload run produces.
+
+Both kinds share the JSON-lines container: a header line carrying the
+format version, kind, and free-form metadata, then one event per line.
+:func:`load_trace` sniffs the header and returns the right class.
 """
 
 from __future__ import annotations
@@ -16,12 +31,14 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.sim.channel import ChannelSim
 from repro.sim.engine import SubchannelSim
 
 _HEADER_KEY = "repro-trace"
 _FORMAT_VERSION = 1
+_ADDRESS_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -86,13 +103,92 @@ class ActivationTrace:
                 raise ValueError(f"{path}: not a repro trace file")
             if header[_HEADER_KEY] != _FORMAT_VERSION:
                 raise ValueError(
-                    f"{path}: unsupported trace version {header[_HEADER_KEY]}"
+                    f"{path}: not an activation trace (format "
+                    f"{header[_HEADER_KEY]}); use load_trace() to "
+                    "dispatch on the trace kind"
                 )
             events = []
             for line in handle:
                 record = json.loads(line)
                 events.append((float(record["t"]), int(record["b"]), int(record["r"])))
         return cls(events=events, metadata=header.get("metadata", {}))
+
+
+@dataclass
+class AddressTrace:
+    """A recorded physical-address stream (channel-level workload).
+
+    Attributes:
+        events: ``(issue_time_ns, physical_byte_address)`` tuples in
+            issue order.
+        metadata: Free-form provenance (workload name, mapping, seed...).
+    """
+
+    events: List[Tuple[float, int]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Tuple[float, int]]:
+        return iter(self.events)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.events[-1][0] if self.events else 0.0
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON-lines with a v2 header record."""
+        path = Path(path)
+        with path.open("w") as handle:
+            header = {
+                _HEADER_KEY: _ADDRESS_FORMAT_VERSION,
+                "kind": "address",
+                "events": len(self.events),
+                "metadata": self.metadata,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for time, addr in self.events:
+                handle.write(json.dumps({"t": time, "a": addr}) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AddressTrace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        with path.open() as handle:
+            header_line = handle.readline()
+            if not header_line:
+                raise ValueError(f"{path}: empty trace file")
+            header = json.loads(header_line)
+            if _HEADER_KEY not in header:
+                raise ValueError(f"{path}: not a repro trace file")
+            if header[_HEADER_KEY] != _ADDRESS_FORMAT_VERSION:
+                raise ValueError(
+                    f"{path}: not an address trace (format "
+                    f"{header[_HEADER_KEY]}); use load_trace() to "
+                    "dispatch on the trace kind"
+                )
+            events = []
+            for line in handle:
+                record = json.loads(line)
+                events.append((float(record["t"]), int(record["a"])))
+        return cls(events=events, metadata=header.get("metadata", {}))
+
+
+def load_trace(path: str | Path) -> Union[ActivationTrace, AddressTrace]:
+    """Load either trace kind, dispatching on the header version."""
+    path = Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+    if not header_line:
+        raise ValueError(f"{path}: empty trace file")
+    header = json.loads(header_line)
+    version = header.get(_HEADER_KEY)
+    if version == _FORMAT_VERSION:
+        return ActivationTrace.load(path)
+    if version == _ADDRESS_FORMAT_VERSION:
+        return AddressTrace.load(path)
+    raise ValueError(f"{path}: not a repro trace file (header {header!r})")
 
 
 class TraceRecorder:
@@ -137,3 +233,29 @@ def replay(
             sim.advance_to(time)
         sim.activate(row, bank=bank)
     sim.flush()
+
+
+def replay_addresses(
+    trace: AddressTrace,
+    channel: ChannelSim,
+    honor_timing: bool = True,
+) -> None:
+    """Replay an address trace through a channel simulator.
+
+    Every event is demultiplexed by the channel's address mapping (the
+    channel must be configured with one) and issued through the shared
+    command front-end, so cross-sub-channel issue constraints apply at
+    per-command granularity.
+
+    Args:
+        trace: The recorded address stream.
+        channel: Target channel (its mapping decodes the addresses).
+        honor_timing: Advance the clock to each event's original issue
+            time (idle gaps reproduce); when False, events are issued
+            back-to-back at the channel's natural pacing.
+    """
+    for time, addr in trace.events:
+        if honor_timing and channel.now < time:
+            channel.advance_to(time)
+        channel.access(addr)
+    channel.flush()

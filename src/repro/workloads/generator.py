@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.workloads.profiles import WorkloadProfile
 
@@ -146,6 +146,125 @@ def generate_schedule(
 
     return ActivationSchedule(
         n_trefi=n_trefi, per_trefi=per_trefi, planned_row_acts=planned
+    )
+
+
+def generate_channel_schedules(
+    profile: WorkloadProfile,
+    num_subchannels: int = 1,
+    banks_per_subchannel: int = 1,
+    n_trefi: int = 8192,
+    seed: int = 0,
+    **kwargs,
+) -> List[List[ActivationSchedule]]:
+    """Channel-interleaved schedules: one per (sub-channel, bank).
+
+    Models a channel-interleaved physical layout — every simulated
+    (sub-channel, bank) pair receives an independent draw of the same
+    Table 4 profile, the way page-granularity interleaving spreads one
+    workload's working set across the whole channel. Seeds are assigned
+    in sub-channel-major order (``seed + sub * banks + bank``), so
+    sub-channel 0 of an N-sub-channel run reproduces the single
+    sub-channel run bit-for-bit.
+
+    Returns ``schedules[subchannel][bank]``. Extra keyword arguments
+    pass through to :func:`generate_schedule`.
+    """
+    if num_subchannels < 1:
+        raise ValueError("num_subchannels must be at least 1")
+    if banks_per_subchannel < 1:
+        raise ValueError("banks_per_subchannel must be at least 1")
+    return [
+        [
+            generate_schedule(
+                profile,
+                n_trefi=n_trefi,
+                seed=seed + sub * banks_per_subchannel + bank,
+                **kwargs,
+            )
+            for bank in range(banks_per_subchannel)
+        ]
+        for sub in range(num_subchannels)
+    ]
+
+
+def generate_address_trace(
+    profile: WorkloadProfile,
+    mapping,
+    n_trefi: int = 8192,
+    seed: int = 0,
+    banks_per_subchannel: Optional[int] = None,
+    trefi_ns: float = 3900.0,
+):
+    """Synthesize a physical-address trace for a full channel.
+
+    Draws one schedule per (sub-channel, bank) of the mapping's
+    geometry (channel-interleaved, like :func:`generate_channel_
+    schedules`), composes each activation into a physical byte address
+    with ``mapping.compose``, and interleaves the per-bank streams
+    round-robin within every tREFI interval — the arrival pattern a
+    channel-interleaved physical layout produces. Event timestamps sit
+    at their interval's start; the replay engine paces commands inside
+    the interval.
+
+    Args:
+        profile: Table 4 workload profile.
+        mapping: :class:`~repro.sim.mapping.AddressMapping` providing
+            the geometry and the compose function.
+        n_trefi: Trace length in tREFI intervals.
+        seed: Base RNG seed (per-bank seeds derive from it).
+        banks_per_subchannel: Banks to populate per sub-channel
+            (default: all of the mapping's banks).
+        trefi_ns: tREFI used for event timestamps.
+
+    Returns:
+        A :class:`repro.trace.AddressTrace`.
+    """
+    from repro.trace import AddressTrace  # circular-import guard
+
+    subchannels = mapping.num_subchannels
+    banks = mapping.num_banks if banks_per_subchannel is None else banks_per_subchannel
+    if not 1 <= banks <= mapping.num_banks:
+        raise ValueError(
+            f"banks_per_subchannel={banks} must be in "
+            f"[1, {mapping.num_banks}] for this mapping"
+        )
+    schedules = generate_channel_schedules(
+        profile,
+        num_subchannels=subchannels,
+        banks_per_subchannel=banks,
+        n_trefi=n_trefi,
+        seed=seed,
+        rows_per_bank=1 << mapping.row_bits,
+        total_banks=subchannels * mapping.num_banks,
+    )
+    events = []
+    for interval in range(n_trefi):
+        time = interval * trefi_ns
+        streams = [
+            (sub, bank, schedules[sub][bank].per_trefi[interval])
+            for sub in range(subchannels)
+            for bank in range(banks)
+        ]
+        position = 0
+        remaining = True
+        while remaining:
+            remaining = False
+            for sub, bank, rows in streams:
+                if position < len(rows):
+                    remaining = True
+                    addr = mapping.compose(sub, bank, rows[position])
+                    events.append((time, addr))
+            position += 1
+    return AddressTrace(
+        events=events,
+        metadata={
+            "workload": profile.name,
+            "n_trefi": n_trefi,
+            "seed": seed,
+            "subchannels": subchannels,
+            "banks_per_subchannel": banks,
+        },
     )
 
 

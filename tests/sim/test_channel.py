@@ -1,0 +1,176 @@
+"""Tests for the channel layer: demux, command front-end, hierarchy."""
+
+import pytest
+
+from repro.mitigations.moat import MoatPolicy
+from repro.sim.channel import ChannelConfig, ChannelSim
+from repro.sim.engine import SimConfig, SubchannelSim
+from repro.sim.mapping import AddressMapping, CoffeeLakeMapping
+
+
+def moat_factory():
+    return MoatPolicy(ath=64)
+
+
+def small_mapping() -> AddressMapping:
+    """2 banks, 2 sub-channels, 256 rows: cheap to simulate fully."""
+    return AddressMapping(
+        bank_functions=[[13, 18]],
+        subchannel_bits=[6, 12],
+        row_shift=18,
+        row_bits=8,
+        column_mask_bits=13,
+    )
+
+
+def small_sim_config(**kwargs) -> SimConfig:
+    kwargs.setdefault("num_banks", 2)
+    kwargs.setdefault("rows_per_bank", 256)
+    kwargs.setdefault("num_refresh_groups", 128)
+    kwargs.setdefault("track_danger", False)
+    kwargs.setdefault("dense_counters", True)
+    return SimConfig(**kwargs)
+
+
+class TestChannelConfig:
+    def test_defaults_single_subchannel(self):
+        config = ChannelConfig()
+        assert config.num_subchannels == 1
+        assert config.t_cmd_gap_resolved == config.sim.t_issue_gap
+
+    def test_cmd_gap_scales_with_width(self):
+        config = ChannelConfig(num_subchannels=2)
+        assert config.t_cmd_gap_resolved == config.sim.t_issue_gap / 2
+
+    def test_explicit_cmd_gap_wins(self):
+        config = ChannelConfig(num_subchannels=2, t_cmd_gap=1.25)
+        assert config.t_cmd_gap_resolved == 1.25
+
+    def test_rejects_zero_subchannels(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(num_subchannels=0)
+
+    def test_rejects_bank_count_mismatch(self):
+        # CoffeeLake decodes 32 banks; the default SimConfig has 1.
+        with pytest.raises(ValueError, match="banks"):
+            ChannelConfig(mapping=CoffeeLakeMapping(), num_subchannels=2)
+
+    def test_rejects_subchannel_mismatch(self):
+        with pytest.raises(ValueError, match="sub-channels"):
+            ChannelConfig(
+                sim=small_sim_config(),
+                mapping=small_mapping(),
+                num_subchannels=1,
+            )
+
+    def test_rejects_row_count_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            ChannelConfig(
+                sim=small_sim_config(rows_per_bank=512, num_refresh_groups=128),
+                mapping=small_mapping(),
+                num_subchannels=2,
+            )
+
+    def test_accepts_matching_geometry(self):
+        config = ChannelConfig(
+            sim=small_sim_config(),
+            mapping=small_mapping(),
+            num_subchannels=2,
+        )
+        assert config.mapping is not None
+
+
+class TestSingleSubchannelEquivalence:
+    """A 1-sub-channel channel must be bit-identical to a bare engine."""
+
+    def drive(self, sim, activate):
+        rows = [5, 9, 5, 13, 5, 9] * 40
+        for i, row in enumerate(rows):
+            activate(row)
+            if i % 16 == 15:
+                sim.advance_to(sim.now + 3000.0)
+        sim.flush()
+        return sim.stats()
+
+    def test_stats_identical(self):
+        config = SimConfig(track_danger=False)
+        bare = SubchannelSim(config, moat_factory)
+        channel = ChannelSim(ChannelConfig(sim=config), moat_factory)
+        bare_stats = self.drive(bare, lambda row: bare.activate(row))
+        chan_stats = self.drive(channel, lambda row: channel.activate(row))
+        del chan_stats["subchannels"]
+        assert chan_stats == {k: float(v) for k, v in bare_stats.items()}
+
+
+class TestAddressDemux:
+    def make(self):
+        return ChannelSim(
+            ChannelConfig(
+                sim=small_sim_config(),
+                mapping=small_mapping(),
+                num_subchannels=2,
+            ),
+            moat_factory,
+        )
+
+    def test_access_routes_by_decode(self):
+        channel = self.make()
+        mapping = channel.mapping
+        addr = mapping.compose(1, 1, 17)
+        channel.access(addr)
+        sub = channel.subchannels[1]
+        assert sub.total_acts == 1
+        assert sub.banks[1].prac_count(17) == 1
+        assert channel.subchannels[0].total_acts == 0
+
+    def test_access_requires_mapping(self):
+        channel = ChannelSim(
+            ChannelConfig(sim=small_sim_config(num_banks=1)), moat_factory
+        )
+        with pytest.raises(ValueError, match="mapping"):
+            channel.access(0)
+
+    def test_stats_aggregate_subchannels(self):
+        channel = self.make()
+        mapping = channel.mapping
+        for row in range(8):
+            channel.access(mapping.compose(0, 0, row))
+            channel.access(mapping.compose(1, 1, row))
+        stats = channel.stats()
+        assert stats["total_acts"] == 16
+        assert stats["subchannels"] == 2
+        assert channel.total_acts == 16
+
+
+class TestCommandFrontEnd:
+    def test_cross_subchannel_commands_share_issue_slots(self):
+        """Back-to-back commands to different sub-channels are spaced
+        by the channel command gap, not issued at the same instant."""
+        channel = ChannelSim(
+            ChannelConfig(sim=small_sim_config(), num_subchannels=2),
+            moat_factory,
+        )
+        gap = channel.config.t_cmd_gap_resolved
+        first = channel.activate(1, bank=0, subchannel=0)
+        second = channel.activate(1, bank=0, subchannel=1)
+        assert second.time >= first.time + gap
+
+    def test_batches_serialize_across_subchannels(self):
+        channel = ChannelSim(
+            ChannelConfig(sim=small_sim_config(), num_subchannels=2),
+            moat_factory,
+        )
+        gap = channel.config.t_cmd_gap_resolved
+        last0 = channel.activate_many([1, 2, 3], bank=0, subchannel=0)
+        first1 = channel.activate(1, bank=0, subchannel=1)
+        assert first1.time >= last0 + gap
+
+    def test_single_subchannel_gap_is_neutral(self):
+        """With one sub-channel the command floor coincides with the
+        sub-channel's own issue gap: timestamps match a bare engine."""
+        config = SimConfig(track_danger=False)
+        bare = SubchannelSim(config, moat_factory)
+        channel = ChannelSim(ChannelConfig(sim=config), moat_factory)
+        bare_times = [bare.activate(r).time for r in [1, 2, 3, 4, 1, 2]]
+        chan_times = [channel.activate(r).time for r in [1, 2, 3, 4, 1, 2]]
+        assert bare_times == chan_times

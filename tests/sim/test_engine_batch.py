@@ -1,0 +1,136 @@
+"""Batched-activation equivalence: activate_many == activate loop.
+
+The fast inner loop of :meth:`SubchannelSim.activate_many` skips the
+per-ACT method-call chain, so these tests pin its one contract: the
+simulation state it produces is *bit-identical* to issuing the same
+rows through :meth:`SubchannelSim.activate` one at a time, across
+every event the engine schedules (REFs, proactive mitigations, ALERT
+episodes, external services) and for every policy kind.
+"""
+
+import pytest
+
+from repro.mitigations.registry import PolicySpec, RunParams, policy_kinds
+from repro.sim.engine import SimConfig, SubchannelSim
+from repro.workloads.generator import generate_schedule
+from repro.workloads.profiles import profile_by_name
+
+TREFI = 3900.0
+
+
+def drive(sim, schedule, batched: bool) -> dict:
+    for interval, rows in enumerate(schedule):
+        target = interval * TREFI
+        if sim.now < target:
+            sim.advance_to(target)
+        if batched:
+            sim.activate_many(rows)
+        else:
+            for row in rows:
+                sim.activate(row)
+    sim.flush()
+    stats = sim.stats()
+    # Include policy-visible state so divergence inside the policy
+    # (not just the aggregate counters) is caught too.
+    stats["policy_proactive"] = sim.policy.proactive_mitigations
+    stats["policy_reactive"] = sim.policy.reactive_mitigations
+    return stats
+
+
+def workload_schedule(n_trefi=512, seed=0):
+    sched = generate_schedule(
+        profile_by_name("roms"), n_trefi=n_trefi, seed=seed
+    )
+    return sched.per_trefi
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("kind", sorted(policy_kinds()))
+    def test_every_policy_kind(self, kind):
+        factory = PolicySpec(kind).make_factory(RunParams(ath=64, eth=32))
+        schedule = workload_schedule(n_trefi=256)
+        config = SimConfig(track_danger=False, dense_counters=True)
+        serial = drive(SubchannelSim(config, factory), schedule, batched=False)
+        factory2 = PolicySpec(kind).make_factory(RunParams(ath=64, eth=32))
+        batched = drive(SubchannelSim(config, factory2), schedule, batched=True)
+        assert serial == batched
+
+    def test_alert_heavy_run(self):
+        """A hot single row forces frequent ALERT episodes."""
+        schedule = [[7, 7, 7, 9, 7] for _ in range(300)]
+        config = SimConfig(track_danger=False, dense_counters=True)
+        factory = PolicySpec("moat").make_factory(RunParams(ath=32, eth=16))
+        serial = drive(SubchannelSim(config, factory), schedule, batched=False)
+        factory2 = PolicySpec("moat").make_factory(RunParams(ath=32, eth=16))
+        batched = drive(SubchannelSim(config, factory2), schedule, batched=True)
+        assert serial == batched
+        assert serial["alerts"] > 0  # the scenario actually alerts
+
+    def test_external_services(self):
+        schedule = workload_schedule(n_trefi=256)
+        config = SimConfig(
+            track_danger=False,
+            dense_counters=True,
+            external_service_interval_ns=5000.0,
+        )
+        factory = PolicySpec("moat").make_factory(RunParams(ath=64, eth=32))
+        serial = drive(SubchannelSim(config, factory), schedule, batched=False)
+        factory2 = PolicySpec("moat").make_factory(RunParams(ath=64, eth=32))
+        batched = drive(SubchannelSim(config, factory2), schedule, batched=True)
+        assert serial == batched
+
+    def test_sparse_bank_fallback_matches(self):
+        """Without dense counters the batch entry point still works
+        (per-ACT fallback) and produces identical results."""
+        schedule = workload_schedule(n_trefi=128)
+        factory = PolicySpec("moat").make_factory(RunParams(ath=64, eth=32))
+        sparse = drive(
+            SubchannelSim(SimConfig(track_danger=False), factory),
+            schedule,
+            batched=True,
+        )
+        factory2 = PolicySpec("moat").make_factory(RunParams(ath=64, eth=32))
+        dense = drive(
+            SubchannelSim(
+                SimConfig(track_danger=False, dense_counters=True), factory2
+            ),
+            schedule,
+            batched=True,
+        )
+        assert sparse == dense
+
+    def test_not_before_floor_applies(self):
+        config = SimConfig(track_danger=False, dense_counters=True)
+        factory = PolicySpec("moat").make_factory(RunParams())
+        sim = SubchannelSim(config, factory)
+        last = sim.activate_many([1, 2, 3], not_before=500.0)
+        assert last >= 500.0
+
+    def test_empty_batch_is_a_noop(self):
+        config = SimConfig(track_danger=False, dense_counters=True)
+        factory = PolicySpec("moat").make_factory(RunParams())
+        sim = SubchannelSim(config, factory)
+        assert sim.activate_many([]) is None
+        assert sim.total_acts == 0
+
+
+class TestDenseCounters:
+    def test_dense_rejects_initial_counter(self):
+        from repro.dram.bank import Bank
+
+        with pytest.raises(ValueError):
+            Bank(dense_counters=True, initial_counter=lambda row: 1)
+
+    def test_dense_counter_semantics_match_sparse(self):
+        from repro.dram.bank import Bank
+
+        dense = Bank(num_rows=64, dense_counters=True, track_danger=False)
+        sparse = Bank(num_rows=64, track_danger=False)
+        for bank in (dense, sparse):
+            for row in (3, 3, 5, 3):
+                bank.activate(row)
+            bank.reset_prac(5)
+        assert dense.prac_count(3) == sparse.prac_count(3) == 3
+        assert dense.prac_count(5) == sparse.prac_count(5) == 0
+        assert dense.touched_rows() == {3: 3}
+        assert dense.rows_with_prac_at_least(3) == 1

@@ -66,3 +66,91 @@ class TestGenericMapping:
         assert mapping.num_banks == 2
         assert mapping.decode(1 << 13).bank == 1
         assert mapping.decode(0).bank == 0
+
+    def test_num_subchannels(self):
+        assert CoffeeLakeMapping().num_subchannels == 2
+        flat = AddressMapping(bank_functions=[[13]], subchannel_bits=[])
+        assert flat.num_subchannels == 1
+
+
+# Generic-mapping strategy: 1-5 bank hash functions, each pairing a
+# dedicated low toggle bit (so compose() can fix the hash up) with an
+# optional row bit, CoffeeLake-style.
+@st.composite
+def generic_mappings(draw):
+    row_shift = 18
+    row_bits = draw(st.integers(4, 16))
+    n_bank_bits = draw(st.integers(1, 5))
+    bank_functions = []
+    for i in range(n_bank_bits):
+        toggle = 13 + i  # distinct low bit per hash
+        bits = [toggle]
+        if draw(st.booleans()):
+            bits.append(row_shift + draw(st.integers(0, row_bits - 1)))
+        bank_functions.append(bits)
+    subchannel_bits = [6] + ([12] if draw(st.booleans()) else [])
+    return AddressMapping(
+        bank_functions=bank_functions,
+        subchannel_bits=subchannel_bits,
+        row_shift=row_shift,
+        row_bits=row_bits,
+        column_mask_bits=draw(st.integers(0, 12)),
+    )
+
+
+class TestGenericRoundTrip:
+    @given(mapping=generic_mappings(), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_compose_decode_roundtrip(self, mapping, data):
+        subchannel = data.draw(st.integers(0, mapping.num_subchannels - 1))
+        bank = data.draw(st.integers(0, mapping.num_banks - 1))
+        row = data.draw(st.integers(0, (1 << mapping.row_bits) - 1))
+        addr = mapping.compose(subchannel, bank, row)
+        decoded = mapping.decode(addr)
+        assert decoded.subchannel == subchannel
+        assert decoded.bank == bank
+        assert decoded.row == row
+
+    @given(mapping=generic_mappings(), addr=st.integers(0, 2**34 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_compose_decode_is_stable(self, mapping, addr):
+        """compose() of a decode lands on the same DRAM coordinates
+        (the address may differ — compose picks *an* address)."""
+        decoded = mapping.decode(addr)
+        again = mapping.decode(
+            mapping.compose(decoded.subchannel, decoded.bank, decoded.row)
+        )
+        assert (again.subchannel, again.bank, again.row) == (
+            decoded.subchannel,
+            decoded.bank,
+            decoded.row,
+        )
+
+
+class TestGeometryGuard:
+    """SimConfig.num_banks must agree with the mapping's bank count
+    before any address-driven traffic is simulated."""
+
+    def test_channel_rejects_disagreeing_bank_count(self):
+        from repro.sim.channel import ChannelConfig
+        from repro.sim.engine import SimConfig
+
+        mapping = CoffeeLakeMapping()
+        with pytest.raises(ValueError, match="num_banks"):
+            ChannelConfig(
+                sim=SimConfig(num_banks=8),
+                mapping=mapping,
+                num_subchannels=2,
+            )
+
+    def test_channel_accepts_agreeing_geometry(self):
+        from repro.sim.channel import ChannelConfig
+        from repro.sim.engine import SimConfig
+
+        mapping = CoffeeLakeMapping()
+        config = ChannelConfig(
+            sim=SimConfig(num_banks=mapping.num_banks),
+            mapping=mapping,
+            num_subchannels=mapping.num_subchannels,
+        )
+        assert config.sim.num_banks == mapping.num_banks

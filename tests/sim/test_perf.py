@@ -172,3 +172,73 @@ class TestPolicyGenericRuns:
         assert metrics["slowdown"] == result.slowdown
         assert metrics["alerts_per_trefi"] == result.alerts_per_trefi
         assert metrics["alerts"] == float(result.alerts)
+
+
+class TestChannelFrontEnd:
+    """The perf front-end routes through ChannelSim."""
+
+    def test_subchannel_axis_scales_counters(self):
+        from repro.sim.perf import RunConfig, run_workload
+        from repro.workloads.profiles import profile_by_name
+
+        profile = profile_by_name("tc")
+        narrow = run_workload(
+            profile, RunConfig(n_trefi=256, model_cross_bank_service=False)
+        )
+        wide = run_workload(
+            profile,
+            RunConfig(
+                n_trefi=256, subchannels=2, model_cross_bank_service=False
+            ),
+        )
+        assert wide.subchannels == 2
+        # Two independent draws of the same profile: roughly twice the
+        # traffic in total, same order of magnitude per sub-channel.
+        assert wide.total_acts > narrow.total_acts
+        assert narrow.subchannels == 1
+
+    def test_single_subchannel_metrics_unchanged_by_channel_layer(self):
+        """RunConfig(subchannels=1) must reproduce the pre-channel
+        engine bit-for-bit (the committed smoke baselines pin the same
+        property at sweep scale)."""
+        from repro.mitigations.registry import PolicySpec, RunParams
+        from repro.sim.engine import SimConfig, SubchannelSim
+        from repro.sim.perf import RunConfig, run_workload
+        from repro.workloads.generator import generate_schedule
+        from repro.workloads.profiles import profile_by_name
+
+        profile = profile_by_name("roms")
+        config = RunConfig(n_trefi=256, model_cross_bank_service=False)
+        result = run_workload(profile, config)
+
+        # Reference: the seed engine's per-ACT driver loop.
+        sim = SubchannelSim(
+            SimConfig(
+                trefi_per_mitigation=config.trefi_per_mitigation_resolved,
+                track_danger=False,
+            ),
+            PolicySpec("moat").make_factory(
+                RunParams(ath=config.ath, eth=config.eth_resolved)
+            ),
+        )
+        sched = generate_schedule(profile, n_trefi=256, seed=0)
+        trefi = config.timing.t_refi
+        for interval in range(sched.n_trefi):
+            target = interval * trefi
+            if sim.now < target:
+                sim.advance_to(target)
+            for row in sched.per_trefi[interval]:
+                sim.activate(row)
+        sim.flush()
+
+        assert result.alerts == sim.alerts
+        assert result.total_acts == sim.total_acts
+        assert result.proactive_mitigations == sim.proactive_count
+        assert result.reactive_mitigations == sim.reactive_count
+
+    def test_run_config_rejects_nothing_but_carries_subchannels(self):
+        from repro.sim.perf import RunConfig
+
+        config = RunConfig(subchannels=2)
+        assert config.subchannels == 2
+        assert RunConfig().subchannels == 1

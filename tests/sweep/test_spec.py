@@ -23,6 +23,7 @@ class TestPresets:
             "table6",
             "table7",
             "ablation",
+            "channel",
         }
 
     def test_fig11_grid_shape(self):
@@ -146,3 +147,48 @@ class TestPolicySpec:
         assert PolicySpec("moat").display_name() == "moat"
         spec = PolicySpec.of("panopticon", drain_all_on_ref=True)
         assert spec.display_name() == "panopticon(drain_all_on_ref=True)"
+
+
+class TestSubchannelAxis:
+    def test_channel_preset_grid(self):
+        spec = preset("channel")
+        points = spec.points()
+        assert {p.config.subchannels for p in points} == {1, 2}
+        assert len(points) == len(SWEEP_WORKLOADS) * 2
+
+    def test_neutral_subchannels_hash_is_stable(self):
+        """subchannels=1 must hash (and key) identically to a config
+        predating the axis — committed baselines depend on it."""
+        base = SweepSpec(name="a", workloads=("tc",))
+        explicit = SweepSpec(name="a", workloads=("tc",), subchannels=(1,))
+        assert [p.config_hash() for p in base.points()] == [
+            p.config_hash() for p in explicit.points()
+        ]
+        assert [p.key for p in base.points()] == [
+            p.key for p in explicit.points()
+        ]
+        # Pinned against the committed fig11 smoke baseline: if this
+        # hash moves, every benchmarks/baselines/*.json goes stale.
+        import json
+        import pathlib
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks" / "baselines" / "fig11.json"
+        )
+        baseline = json.loads(baseline_path.read_text())
+        from repro.sweep.spec import PRESETS
+
+        smoke = PRESETS["fig11"].with_overrides(
+            n_trefi=baseline["n_trefi"], seed=baseline["seed"]
+        )
+        assert smoke.sweep_hash() == baseline["sweep_hash"]
+
+    def test_non_neutral_subchannels_changes_identity(self):
+        narrow = SweepSpec(name="a", workloads=("tc",))
+        wide = SweepSpec(name="a", workloads=("tc",), subchannels=(2,))
+        assert (
+            narrow.points()[0].config_hash() != wide.points()[0].config_hash()
+        )
+        assert "sc=2" in wide.points()[0].key
+        assert "sc=" not in narrow.points()[0].key

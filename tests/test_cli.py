@@ -66,3 +66,61 @@ class TestPerfCommand:
         out = capsys.readouterr().out
         assert "slowdown" in out
         assert "TriCount" in out
+
+
+class TestRegistryDrivenListings:
+    def test_list_policies_matches_registry(self, capsys):
+        from repro.mitigations.registry import policy_kinds
+
+        assert main(["perf", "--list-policies"]) == 0
+        out = capsys.readouterr().out
+        for kind in policy_kinds():
+            assert kind in out
+
+    def test_list_presets_matches_presets(self, capsys):
+        from repro.sweep.spec import PRESETS
+
+        assert main(["sweep", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        for name in PRESETS:
+            assert name in out
+
+    def test_perf_without_workload_errors(self, capsys):
+        assert main(["perf"]) == 2
+        assert "workload" in capsys.readouterr().err
+
+
+class TestPerfChannels:
+    def test_channels_flag(self, capsys):
+        assert main(["perf", "tc", "--trefi", "128", "--channels", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 sub-channels" in out
+
+    def test_channels_must_be_positive(self, capsys):
+        assert main(["perf", "tc", "--channels", "0"]) == 2
+
+
+class TestTraceCommands:
+    def test_synth_info_perf_roundtrip(self, tmp_path, capsys):
+        out_path = str(tmp_path / "tc.trace.jsonl")
+        assert main(["trace", "synth", "tc", "--trefi", "32",
+                     "--banks", "1", "--out", out_path]) == 0
+        capsys.readouterr()
+        assert main(["trace", "info", out_path]) == 0
+        info = capsys.readouterr().out
+        assert "address" in info
+        assert main(["perf", "--trace", out_path, "--trefi", "32"]) == 0
+        perf_out = capsys.readouterr().out
+        assert "slowdown" in perf_out
+        assert "tc" in perf_out
+
+    def test_perf_rejects_activation_trace(self, tmp_path, capsys):
+        from repro.trace import ActivationTrace
+
+        path = tmp_path / "act.jsonl"
+        ActivationTrace(events=[(0.0, 0, 1)]).save(path)
+        assert main(["perf", "--trace", str(path)]) == 2
+        assert "address trace" in capsys.readouterr().err
+
+    def test_synth_requires_workload(self, capsys):
+        assert main(["trace", "synth"]) == 2

@@ -82,3 +82,100 @@ class TestBurstPacing:
         schedule = generate_schedule(profile_by_name("bwaves"), n_trefi=2048, seed=0)
         overloaded = sum(1 for rows in schedule.per_trefi if len(rows) > 3 * 67)
         assert overloaded / schedule.n_trefi < 0.02
+
+
+class TestChannelSchedules:
+    def test_shape(self):
+        from repro.workloads.generator import generate_channel_schedules
+        from repro.workloads.profiles import profile_by_name
+
+        grid = generate_channel_schedules(
+            profile_by_name("tc"), num_subchannels=2,
+            banks_per_subchannel=3, n_trefi=64,
+        )
+        assert len(grid) == 2
+        assert all(len(bank_row) == 3 for bank_row in grid)
+        assert all(s.n_trefi == 64 for row in grid for s in row)
+
+    def test_subchannel_zero_matches_single_subchannel_run(self):
+        """Seeding is sub-channel-major: the first sub-channel of a
+        wide run is bit-identical to a narrow run."""
+        from repro.workloads.generator import (
+            generate_channel_schedules,
+            generate_schedule,
+        )
+        from repro.workloads.profiles import profile_by_name
+
+        profile = profile_by_name("roms")
+        wide = generate_channel_schedules(
+            profile, num_subchannels=2, banks_per_subchannel=2,
+            n_trefi=128, seed=7,
+        )
+        assert wide[0][0].per_trefi == generate_schedule(
+            profile, n_trefi=128, seed=7
+        ).per_trefi
+        assert wide[0][1].per_trefi == generate_schedule(
+            profile, n_trefi=128, seed=8
+        ).per_trefi
+        # Sub-channel 1 continues the seed sequence.
+        assert wide[1][0].per_trefi == generate_schedule(
+            profile, n_trefi=128, seed=9
+        ).per_trefi
+
+    def test_rejects_bad_geometry(self):
+        import pytest
+
+        from repro.workloads.generator import generate_channel_schedules
+        from repro.workloads.profiles import profile_by_name
+
+        with pytest.raises(ValueError):
+            generate_channel_schedules(
+                profile_by_name("tc"), num_subchannels=0
+            )
+        with pytest.raises(ValueError):
+            generate_channel_schedules(
+                profile_by_name("tc"), banks_per_subchannel=0
+            )
+
+
+class TestAddressTraceGeneration:
+    def test_events_cover_all_subchannels_and_banks(self):
+        from repro.sim.mapping import CoffeeLakeMapping
+        from repro.workloads.generator import generate_address_trace
+        from repro.workloads.profiles import profile_by_name
+
+        mapping = CoffeeLakeMapping()
+        trace = generate_address_trace(
+            profile_by_name("tc"), mapping, n_trefi=32,
+            banks_per_subchannel=2,
+        )
+        seen = {
+            (d.subchannel, d.bank)
+            for d in (mapping.decode(addr) for _, addr in trace.events)
+        }
+        assert seen == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_timestamps_are_monotone(self):
+        from repro.sim.mapping import CoffeeLakeMapping
+        from repro.workloads.generator import generate_address_trace
+        from repro.workloads.profiles import profile_by_name
+
+        trace = generate_address_trace(
+            profile_by_name("tc"), CoffeeLakeMapping(), n_trefi=16,
+            banks_per_subchannel=1,
+        )
+        times = [t for t, _ in trace.events]
+        assert times == sorted(times)
+
+    def test_rejects_too_many_banks(self):
+        import pytest
+
+        from repro.sim.mapping import CoffeeLakeMapping
+        from repro.workloads.generator import generate_address_trace
+        from repro.workloads.profiles import profile_by_name
+
+        with pytest.raises(ValueError):
+            generate_address_trace(
+                profile_by_name("tc"), CoffeeLakeMapping(), n_trefi=8,
+                banks_per_subchannel=64,
+            )
