@@ -4,8 +4,9 @@ Per-Row Activation Counters* (Qureshi & Qazi, ASPLOS 2025).
 The package models the JEDEC DDR5 PRAC+ABO framework, implements MOAT
 and the designs it is compared against (Panopticon, idealized per-row
 tracking, low-cost SRAM trackers), the paper's attacks (Jailbreak,
-Feinting, Ratchet, TSA, refresh postponement), and a workload-driven
-performance evaluation calibrated to the paper's Table 4.
+Feinting, Ratchet, TSA, refresh postponement — declarative via
+``AttackSpec``/``run_attack``), and a workload-driven performance
+evaluation calibrated to the paper's Table 4.
 
 Quickstart::
 
@@ -46,6 +47,12 @@ from repro.sim import (
     CoffeeLakeMapping,
     SimConfig,
     SubchannelSim,
+)
+from repro.sim.attack_perf import (
+    AttackResult,
+    AttackRunConfig,
+    AttackSpec,
+    run_attack,
 )
 from repro.sim.perf import (
     MoatRunConfig,
@@ -89,10 +96,14 @@ __all__ = [
     "CoffeeLakeMapping",
     "SimConfig",
     "SubchannelSim",
+    "AttackResult",
+    "AttackRunConfig",
+    "AttackSpec",
     "MoatRunConfig",
     "PerfResult",
     "PolicySpec",
     "RunConfig",
+    "run_attack",
     "run_workload",
     "run_suite",
     "run_trace",

@@ -11,9 +11,20 @@
   drain-all Panopticon variant (Appendix B, Figure 16).
 * :mod:`repro.attacks.trespass` — many-aggressor thrashing of low-cost
   SRAM trackers (Section 2.4 motivation).
+* :mod:`repro.attacks.registry` — declarative :class:`AttackSpec`
+  descriptions of the above, for the sweep/orchestration stack.
+
+Every attack drives a :class:`~repro.sim.channel.ChannelSim` built from
+a shared :class:`~repro.attacks.base.AttackRunConfig`; see
+:mod:`repro.sim.attack_perf` for the ``run_attack`` front-end.
 """
 
-from repro.attacks.base import AttackResult, MitigationLog
+from repro.attacks.base import (
+    AttackResult,
+    AttackRunConfig,
+    MitigationLog,
+    subscribed,
+)
 from repro.attacks.feinting import run_feinting
 from repro.attacks.jailbreak import (
     run_deterministic_jailbreak,
@@ -23,12 +34,22 @@ from repro.attacks.jailbreak import (
 from repro.attacks.kernels import run_single_row_kernel, run_multi_row_kernel
 from repro.attacks.postponement import run_postponement_attack
 from repro.attacks.ratchet import run_ratchet, ratchet_growth_curve
+from repro.attacks.registry import (
+    AttackSpec,
+    attack_descriptions,
+    attack_kinds,
+)
 from repro.attacks.trespass import run_many_aggressor_attack
 from repro.attacks.tsa import run_tsa
 
 __all__ = [
     "AttackResult",
+    "AttackRunConfig",
+    "AttackSpec",
     "MitigationLog",
+    "attack_descriptions",
+    "attack_kinds",
+    "subscribed",
     "run_feinting",
     "run_deterministic_jailbreak",
     "run_randomized_jailbreak_iteration",

@@ -28,42 +28,46 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional
 
-from repro.attacks.base import AttackResult, MitigationLog, spaced_rows
+from repro.attacks.base import (
+    AttackResult,
+    AttackRunConfig,
+    MitigationLog,
+    attack_rows,
+    build_channel,
+    require_single_subchannel,
+    resolve_run,
+)
 from repro.dram.refresh import CounterResetPolicy
 from repro.mitigations.panopticon import PanopticonPolicy
-from repro.sim.engine import SimConfig, SubchannelSim
+from repro.sim.channel import ChannelSim
 
 
 def _panopticon_sim(
     threshold: int,
     queue_entries: int,
-    rows_per_bank: int,
-    num_groups: int,
+    run: AttackRunConfig,
     initial_counter: Optional[Callable[[int], int]] = None,
-) -> SubchannelSim:
-    config = SimConfig(
-        rows_per_bank=rows_per_bank,
-        num_refresh_groups=num_groups,
+) -> ChannelSim:
+    return build_channel(
+        run,
+        lambda: PanopticonPolicy(
+            queue_threshold=threshold, queue_entries=queue_entries
+        ),
         reset_policy=CounterResetPolicy.FREE_RUNNING,
         trefi_per_mitigation=4,  # Panopticon: 4 victim rows, no reset ACT
         reset_counter_on_mitigation=False,
         initial_counter=initial_counter,
-    )
-    return SubchannelSim(
-        config,
-        lambda: PanopticonPolicy(
-            queue_threshold=threshold, queue_entries=queue_entries
-        ),
     )
 
 
 def run_deterministic_jailbreak(
     threshold: int = 128,
     queue_entries: int = 8,
-    rows_per_bank: int = 64 * 1024,
-    num_groups: int = 8192,
+    rows_per_bank: Optional[int] = None,
+    num_groups: Optional[int] = None,
     acts_per_trefi_phase2: int = 32,
     max_periods: int = 64,
+    run: Optional[AttackRunConfig] = None,
 ) -> AttackResult:
     """Execute the deterministic Jailbreak pattern against Panopticon.
 
@@ -71,48 +75,50 @@ def run_deterministic_jailbreak(
     number of activations row H received before its first mitigation
     (1152 for the paper's configuration).
     """
-    sim = _panopticon_sim(threshold, queue_entries, rows_per_bank, num_groups)
-    log = MitigationLog(sim)
-    rows = spaced_rows(queue_entries)
-    attack_row = rows[-1]
+    run = resolve_run(run, rows_per_bank=rows_per_bank, num_refresh_groups=num_groups)
+    require_single_subchannel(run, "jailbreak")
+    rows = attack_rows(run, queue_entries)
+    sim = _panopticon_sim(threshold, queue_entries, run)
+    with MitigationLog(sim) as log:
+        attack_row = rows[-1]
 
-    # Phase 1: circular activation fills the queue, H last. The final
-    # circular round (where all 8 rows cross the threshold and enter the
-    # queue) is aligned to land just after a mitigation-period boundary,
-    # so every enqueued entry waits full periods before service — the
-    # paper's accounting of 8 x 128 activations while H is enqueued.
-    acts_on_h = 0
-    period_ns = 4 * sim.timing.t_refi
-    for _ in range(threshold - 1):
+        # Phase 1: circular activation fills the queue, H last. The final
+        # circular round (where all 8 rows cross the threshold and enter the
+        # queue) is aligned to land just after a mitigation-period boundary,
+        # so every enqueued entry waits full periods before service — the
+        # paper's accounting of 8 x 128 activations while H is enqueued.
+        acts_on_h = 0
+        period_ns = 4 * sim.timing.t_refi
+        for _ in range(threshold - 1):
+            for row in rows:
+                sim.activate(row)
+                if row == attack_row:
+                    acts_on_h += 1
+        boundary = (int(sim.now // period_ns) + 1) * period_ns
+        sim.advance_to(boundary + sim.timing.t_rfc)
         for row in rows:
             sim.activate(row)
             if row == attack_row:
                 acts_on_h += 1
-    boundary = (int(sim.now // period_ns) + 1) * period_ns
-    sim.advance_to(boundary + sim.timing.t_rfc)
-    for row in rows:
-        sim.activate(row)
-        if row == attack_row:
-            acts_on_h += 1
 
-    # Phase 2: hammer H at a rate of one queue insertion per mitigation
-    # period, starting one tREFI after the fill so each re-crossing of
-    # the threshold lands just after that period's FIFO service (the
-    # service-then-insert interleave that keeps the queue at capacity
-    # without overflowing). Stop at H's first mitigation.
-    trefi = sim.timing.t_refi
-    sim.advance_to(boundary + period_ns / 4.0 + sim.timing.t_rfc)
-    for _ in range(max_periods * 8):
-        interval_start = sim.now
-        for _ in range(acts_per_trefi_phase2):
-            sim.activate(attack_row)
-            acts_on_h += 1
+        # Phase 2: hammer H at a rate of one queue insertion per mitigation
+        # period, starting one tREFI after the fill so each re-crossing of
+        # the threshold lands just after that period's FIFO service (the
+        # service-then-insert interleave that keeps the queue at capacity
+        # without overflowing). Stop at H's first mitigation.
+        trefi = sim.timing.t_refi
+        sim.advance_to(boundary + period_ns / 4.0 + sim.timing.t_rfc)
+        for _ in range(max_periods * 8):
+            interval_start = sim.now
+            for _ in range(acts_per_trefi_phase2):
+                sim.activate(attack_row)
+                acts_on_h += 1
+                if log.was_mitigated(attack_row):
+                    break
             if log.was_mitigated(attack_row):
                 break
-        if log.was_mitigated(attack_row):
-            break
-        sim.advance_to(interval_start + trefi)
-    sim.flush()
+            sim.advance_to(interval_start + trefi)
+        sim.flush()
 
     return AttackResult(
         name="jailbreak-deterministic",
@@ -121,6 +127,7 @@ def run_deterministic_jailbreak(
         alerts=sim.alerts,
         elapsed_ns=sim.now,
         total_acts=sim.total_acts,
+        subchannels=run.subchannels,
         details={"threshold": threshold, "queue_entries": queue_entries},
     )
 
@@ -143,9 +150,10 @@ def run_randomized_jailbreak_iteration(
     threshold: int = 128,
     queue_entries: int = 8,
     prime_acts: int = 32,
-    rows_per_bank: int = 64 * 1024,
-    num_groups: int = 8192,
+    rows_per_bank: Optional[int] = None,
+    num_groups: Optional[int] = None,
     max_attack_acts: int = 4096,
+    run: Optional[AttackRunConfig] = None,
 ) -> AttackResult:
     """Fully simulate ONE iteration of the randomized Jailbreak.
 
@@ -160,7 +168,9 @@ def run_randomized_jailbreak_iteration(
     """
     if len(initial_counters) != queue_entries:
         raise ValueError("need one initial counter per decoy row")
-    rows = spaced_rows(queue_entries + 1)
+    run = resolve_run(run, rows_per_bank=rows_per_bank, num_refresh_groups=num_groups)
+    require_single_subchannel(run, "jailbreak (randomized)")
+    rows = attack_rows(run, queue_entries + 1)
     decoys, attack_row = rows[:-1], rows[-1]
     values = dict(zip(decoys, initial_counters))
     values[attack_row] = attack_row_counter
@@ -168,35 +178,33 @@ def run_randomized_jailbreak_iteration(
     sim = _panopticon_sim(
         threshold,
         queue_entries,
-        rows_per_bank,
-        num_groups,
+        run,
         initial_counter=lambda row: values.get(row, 0),
     )
-    log = MitigationLog(sim)
-
-    # Phase 1: 32 circular activations per decoy.
-    for _ in range(prime_acts):
-        for row in decoys:
-            sim.activate(row)
-
-    # Wait one mitigation period so at least one enqueued decoy is
-    # serviced before X can cross — otherwise X's insertion into a full
-    # queue overflows and raises an ALERT, wasting the iteration.
-    period = 4 * sim.timing.t_refi
-    sim.advance_to(sim.now + period)
-
-    # Phase 2: hammer X, paced to one insertion per mitigation period.
-    acts_on_x = 0
-    trefi = sim.timing.t_refi
-    while acts_on_x < max_attack_acts and not log.was_mitigated(attack_row):
-        interval_start = sim.now
+    with MitigationLog(sim) as log:
+        # Phase 1: 32 circular activations per decoy.
         for _ in range(prime_acts):
-            sim.activate(attack_row)
-            acts_on_x += 1
-            if log.was_mitigated(attack_row):
-                break
-        sim.advance_to(interval_start + trefi)
-    sim.flush()
+            for row in decoys:
+                sim.activate(row)
+
+        # Wait one mitigation period so at least one enqueued decoy is
+        # serviced before X can cross — otherwise X's insertion into a full
+        # queue overflows and raises an ALERT, wasting the iteration.
+        period = 4 * sim.timing.t_refi
+        sim.advance_to(sim.now + period)
+
+        # Phase 2: hammer X, paced to one insertion per mitigation period.
+        acts_on_x = 0
+        trefi = sim.timing.t_refi
+        while acts_on_x < max_attack_acts and not log.was_mitigated(attack_row):
+            interval_start = sim.now
+            for _ in range(prime_acts):
+                sim.activate(attack_row)
+                acts_on_x += 1
+                if log.was_mitigated(attack_row):
+                    break
+            sim.advance_to(interval_start + trefi)
+        sim.flush()
 
     heavy = sum(
         1 for counter in initial_counters if is_heavy_weight(counter, threshold, prime_acts)
@@ -208,6 +216,7 @@ def run_randomized_jailbreak_iteration(
         alerts=sim.alerts,
         elapsed_ns=sim.now,
         total_acts=sim.total_acts,
+        subchannels=run.subchannels,
         details={"heavy_decoys": heavy},
     )
 

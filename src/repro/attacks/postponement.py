@@ -15,63 +15,70 @@ of ~328 against a threshold of 128 (2.6x, Figure 16).
 
 from __future__ import annotations
 
-from repro.attacks.base import AttackResult, MitigationLog, spaced_rows
+from typing import Optional
+
+from repro.attacks.base import (
+    AttackResult,
+    AttackRunConfig,
+    MitigationLog,
+    attack_rows,
+    build_channel,
+    require_single_subchannel,
+    resolve_run,
+)
 from repro.dram.refresh import CounterResetPolicy
 from repro.mitigations.panopticon import PanopticonPolicy
-from repro.sim.engine import SimConfig, SubchannelSim
 
 
 def run_postponement_attack(
     threshold: int = 128,
     queue_entries: int = 8,
-    rows_per_bank: int = 64 * 1024,
-    num_groups: int = 8192,
+    rows_per_bank: Optional[int] = None,
+    num_groups: Optional[int] = None,
     max_acts: int = 4096,
+    run: Optional[AttackRunConfig] = None,
 ) -> AttackResult:
     """Break drain-all Panopticon with refresh postponement.
 
     Returns ``acts_on_attack_row`` — activations on row A before its
     first mitigation (~328 for the default configuration).
     """
-    config = SimConfig(
-        rows_per_bank=rows_per_bank,
-        num_refresh_groups=num_groups,
-        reset_policy=CounterResetPolicy.FREE_RUNNING,
-        trefi_per_mitigation=1,  # drain-all repurposes every REF
-        reset_counter_on_mitigation=False,
-        max_postponed_refs=2,
-    )
-    sim = SubchannelSim(
-        config,
+    run = resolve_run(run, rows_per_bank=rows_per_bank, num_refresh_groups=num_groups)
+    require_single_subchannel(run, "postponement")
+    attack_row = attack_rows(run, 1)[0]
+    sim = build_channel(
+        run,
         lambda: PanopticonPolicy(
             queue_threshold=threshold,
             queue_entries=queue_entries,
             drain_all_on_ref=True,
         ),
+        reset_policy=CounterResetPolicy.FREE_RUNNING,
+        trefi_per_mitigation=1,  # drain-all repurposes every REF
+        reset_counter_on_mitigation=False,
+        max_postponed_refs=2,
     )
-    log = MitigationLog(sim)
-    sim.postpone_refs = True
-    attack_row = spaced_rows(1)[0]
+    with MitigationLog(sim) as log:
+        sim.postpone_refs = True
 
-    # Pre-charge the counter to threshold-1 before the first REF batch.
-    acts = 0
-    for _ in range(threshold - 1):
-        sim.activate(attack_row)
-        acts += 1
+        # Pre-charge the counter to threshold-1 before the first REF
+        # batch — an open-loop burst, so it batches through the channel.
+        sim.activate_many([attack_row] * (threshold - 1))
+        acts = threshold - 1
 
-    # Let the next mandatory batch of three REFs execute (REFs are
-    # postponed twice, so batches land at every third tREFI boundary;
-    # large thresholds may need several batch periods to pre-charge).
-    batch_period = 3 * sim.timing.t_refi
-    next_batch = (int(sim.now // batch_period) + 1) * batch_period
-    sim.advance_to(next_batch + 3 * sim.timing.t_rfc + 1.0)
+        # Let the next mandatory batch of three REFs execute (REFs are
+        # postponed twice, so batches land at every third tREFI boundary;
+        # large thresholds may need several batch periods to pre-charge).
+        batch_period = 3 * sim.timing.t_refi
+        next_batch = (int(sim.now // batch_period) + 1) * batch_period
+        sim.advance_to(next_batch + 3 * sim.timing.t_rfc + 1.0)
 
-    # Hammer: the first activation crosses the threshold and enqueues
-    # the row; it is mitigated only at the next REF batch.
-    while not log.was_mitigated(attack_row) and acts < max_acts:
-        sim.activate(attack_row)
-        acts += 1
-    sim.flush()
+        # Hammer: the first activation crosses the threshold and enqueues
+        # the row; it is mitigated only at the next REF batch.
+        while not log.was_mitigated(attack_row) and acts < max_acts:
+            sim.activate(attack_row)
+            acts += 1
+        sim.flush()
 
     return AttackResult(
         name="refresh-postponement-vs-drain-all",
@@ -80,5 +87,6 @@ def run_postponement_attack(
         alerts=sim.alerts,
         elapsed_ns=sim.now,
         total_acts=sim.total_acts,
+        subchannels=run.subchannels,
         details={"threshold": threshold},
     )

@@ -21,31 +21,35 @@ analytical Safe-TRH (which MOAT uses for provisioning).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.attacks.base import AttackResult, MitigationLog, spaced_rows
+from repro.attacks.base import (
+    AttackResult,
+    AttackRunConfig,
+    MitigationLog,
+    attack_rows,
+    build_channel,
+    require_single_subchannel,
+    resolve_run,
+)
 from repro.dram.refresh import CounterResetPolicy
 from repro.mitigations.moat import MoatPolicy
-from repro.sim.engine import SimConfig, SubchannelSim
+from repro.sim.channel import ChannelSim
 
 
 def _moat_sim(
     ath: int,
     abo_level: int,
     tracker_level: int,
-    rows_per_bank: int,
-    num_groups: int,
-) -> SubchannelSim:
-    config = SimConfig(
-        rows_per_bank=rows_per_bank,
-        num_refresh_groups=num_groups,
+    run: AttackRunConfig,
+) -> ChannelSim:
+    return build_channel(
+        run,
+        lambda: MoatPolicy(ath=ath, level=tracker_level),
         reset_policy=CounterResetPolicy.SAFE,
         trefi_per_mitigation=5,
         abo_level=abo_level,
         reset_counter_on_mitigation=True,
-    )
-    return SubchannelSim(
-        config, lambda: MoatPolicy(ath=ath, level=tracker_level)
     )
 
 
@@ -53,10 +57,11 @@ def run_ratchet(
     ath: int = 64,
     pool_size: int = 64,
     abo_level: int = 1,
-    tracker_level: int | None = None,
-    rows_per_bank: int = 64 * 1024,
-    num_groups: int = 8192,
+    tracker_level: Optional[int] = None,
+    rows_per_bank: Optional[int] = None,
+    num_groups: Optional[int] = None,
     max_alerts: int = 100_000,
+    run: Optional[AttackRunConfig] = None,
 ) -> AttackResult:
     """Execute the Ratchet attack against MOAT.
 
@@ -73,68 +78,70 @@ def run_ratchet(
     """
     if tracker_level is None:
         tracker_level = abo_level
-    sim = _moat_sim(ath, abo_level, tracker_level, rows_per_bank, num_groups)
-    log = MitigationLog(sim)
-    pool = spaced_rows(pool_size)
+    run = resolve_run(run, rows_per_bank=rows_per_bank, num_refresh_groups=num_groups)
+    require_single_subchannel(run, "ratchet")
+    pool = attack_rows(run, pool_size)
+    sim = _moat_sim(ath, abo_level, tracker_level, run)
+    with MitigationLog(sim) as log:
 
-    # --- Priming phase: bring every pool row to exactly ATH. ----------
-    # Proactive mitigation may steal primed rows (they exceed ETH); the
-    # attacker simply re-primes, which Appendix A's F(N) approximation
-    # absorbs. We track our own issued counts and top up as needed.
-    counts = {row: 0 for row in pool}
+        # --- Priming phase: bring every pool row to exactly ATH. ----------
+        # Proactive mitigation may steal primed rows (they exceed ETH); the
+        # attacker simply re-primes, which Appendix A's F(N) approximation
+        # absorbs. We track our own issued counts and top up as needed.
+        counts = {row: 0 for row in pool}
 
-    def mitigations(row: int) -> int:
-        return log.times_mitigated(row)
+        def mitigations(row: int) -> int:
+            return log.times_mitigated(row)
 
-    baseline_mitigations = {row: 0 for row in pool}
+        baseline_mitigations = {row: 0 for row in pool}
 
-    def current_count(row: int) -> int:
-        # A mitigation resets the row's counter; our mirror restarts.
-        return counts[row]
+        def current_count(row: int) -> int:
+            # A mitigation resets the row's counter; our mirror restarts.
+            return counts[row]
 
-    def note_acts(row: int, n: int) -> None:
-        for _ in range(n):
-            sim.activate(row)
-            counts[row] += 1
-            if mitigations(row) != baseline_mitigations[row]:
-                baseline_mitigations[row] = mitigations(row)
-                counts[row] = 0
+        def note_acts(row: int, n: int) -> None:
+            for _ in range(n):
+                sim.activate(row)
+                counts[row] += 1
+                if mitigations(row) != baseline_mitigations[row]:
+                    baseline_mitigations[row] = mitigations(row)
+                    counts[row] = 0
 
-    stable = False
-    for _ in range(64):  # priming rounds; converges in a few
-        stable = True
-        for row in pool:
-            deficit = ath - current_count(row)
-            if deficit > 0:
-                stable = False
-                note_acts(row, deficit)
-        if stable:
-            break
+        stable = False
+        for _ in range(64):  # priming rounds; converges in a few
+            stable = True
+            for row in pool:
+                deficit = ath - current_count(row)
+                if deficit > 0:
+                    stable = False
+                    note_acts(row, deficit)
+            if stable:
+                break
 
-    # --- ALERT chain: ratchet the survivors. ---------------------------
-    # Every activation now pushes a row above ATH. The engine fires an
-    # ALERT as soon as the inter-ALERT constraints allow; MOAT mitigates
-    # the tracked maximum. The attacker spreads activations evenly over
-    # the survivors with the *lowest* counts first, so the intended
-    # survivor never becomes the tracker maximum prematurely.
-    alerts_before = sim.alerts
-    chain_base = {row: mitigations(row) for row in pool}
+        # --- ALERT chain: ratchet the survivors. ---------------------------
+        # Every activation now pushes a row above ATH. The engine fires an
+        # ALERT as soon as the inter-ALERT constraints allow; MOAT mitigates
+        # the tracked maximum. The attacker spreads activations evenly over
+        # the survivors with the *lowest* counts first, so the intended
+        # survivor never becomes the tracker maximum prematurely.
+        alerts_before = sim.alerts
+        chain_base = {row: mitigations(row) for row in pool}
 
-    def alive(row: int) -> bool:
-        return mitigations(row) == chain_base[row]
+        def alive(row: int) -> bool:
+            return mitigations(row) == chain_base[row]
 
-    survivors = list(pool)
-    while len(survivors) > 1 and sim.alerts - alerts_before < max_alerts:
-        target = min(survivors, key=lambda r: counts[r])
-        note_acts(target, 1)
-        survivors = [row for row in survivors if alive(row)]
+        survivors = list(pool)
+        while len(survivors) > 1 and sim.alerts - alerts_before < max_alerts:
+            target = min(survivors, key=lambda r: counts[r])
+            note_acts(target, 1)
+            survivors = [row for row in survivors if alive(row)]
 
-    # Final row: hammer it until its own ALERT takes it out.
-    if survivors:
-        last = survivors[0]
-        while alive(last) and sim.alerts - alerts_before < max_alerts:
-            note_acts(last, 1)
-    sim.flush()
+        # Final row: hammer it until its own ALERT takes it out.
+        if survivors:
+            last = survivors[0]
+            while alive(last) and sim.alerts - alerts_before < max_alerts:
+                note_acts(last, 1)
+        sim.flush()
 
     # The bank's danger accounting is the authoritative metric: the
     # attacker-side mirror can drift when the periodic refresh wave
@@ -146,16 +153,16 @@ def run_ratchet(
         alerts=sim.alerts,
         elapsed_ns=sim.now,
         total_acts=sim.total_acts,
+        subchannels=run.subchannels,
         details={"pool": pool_size},
     )
 
 
 def ratchet_growth_curve(
     ath: int = 64,
-    pool_sizes: List[int] | None = None,
+    pool_sizes: Optional[List[int]] = None,
     abo_level: int = 1,
-    rows_per_bank: int = 64 * 1024,
-    num_groups: int = 8192,
+    run: Optional[AttackRunConfig] = None,
 ) -> Dict[int, int]:
     """Max activations on the attack row vs pool size (log growth)."""
     pool_sizes = pool_sizes or [4, 16, 64, 256]
@@ -164,8 +171,7 @@ def ratchet_growth_curve(
             ath=ath,
             pool_size=n,
             abo_level=abo_level,
-            rows_per_bank=rows_per_bank,
-            num_groups=num_groups,
+            run=run,
         ).acts_on_attack_row
         for n in pool_sizes
     }

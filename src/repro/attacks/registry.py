@@ -1,0 +1,203 @@
+"""Declarative attack specifications.
+
+The security-evaluation front-end and the attack sweep runner describe
+an attack as an :class:`AttackSpec` — a picklable ``(kind, params)``
+pair mirroring :class:`~repro.mitigations.registry.PolicySpec` — so
+attack runs can cross process boundaries, be hashed into cache keys,
+and be serialized into ``BENCH_attack.json`` artifacts.
+
+Registered kinds, their entry points, and the paper results they drive:
+
+=============== =====================================================
+``jailbreak``     :func:`~repro.attacks.jailbreak.run_deterministic_jailbreak`
+                  (Figure 5, Section 3.2).
+``ratchet``       :func:`~repro.attacks.ratchet.run_ratchet`
+                  (Figure 10, Section 5).
+``feinting``      :func:`~repro.attacks.feinting.run_feinting`
+                  (Table 2, Section 2.5).
+``postponement``  :func:`~repro.attacks.postponement.run_postponement_attack`
+                  (Figure 16, Appendix B).
+``tsa``           :func:`~repro.attacks.tsa.run_tsa`
+                  (Figure 12, Section 7.3).
+``kernel-single`` :func:`~repro.attacks.kernels.run_single_row_kernel`
+                  (Figure 13, Section 7.2).
+``kernel-multi``  :func:`~repro.attacks.kernels.run_multi_row_kernel`
+                  (Figure 13, Section 7.2).
+``trespass``      :func:`~repro.attacks.trespass.run_many_aggressor_attack`
+                  (Section 2.4 motivation).
+=============== =====================================================
+
+Every runner takes the shared geometry from an
+:class:`~repro.attacks.base.AttackRunConfig` (``run=`` keyword); spec
+params map onto the runner's remaining keywords and are validated at
+spec-construction time against the runner signature, so a typo'd
+parameter fails before any simulation starts.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.attacks.base import AttackResult, AttackRunConfig
+from repro.attacks.feinting import run_feinting
+from repro.attacks.jailbreak import run_deterministic_jailbreak
+from repro.attacks.kernels import run_multi_row_kernel, run_single_row_kernel
+from repro.attacks.postponement import run_postponement_attack
+from repro.attacks.ratchet import run_ratchet
+from repro.attacks.trespass import run_many_aggressor_attack
+from repro.attacks.tsa import run_tsa
+
+AttackRunner = Callable[..., AttackResult]
+
+#: Runner keywords that are not attack parameters: geometry comes from
+#: the shared run config, and the legacy per-call overrides stay CLI/
+#: test conveniences rather than sweepable axes.
+_RESERVED_PARAMS = frozenset({"run", "rows_per_bank", "num_groups", "timing"})
+
+
+@dataclass(frozen=True)
+class _AttackKind:
+    name: str
+    runner: AttackRunner
+    #: One-line description surfaced by ``repro attack list``.
+    description: str
+    #: Paper artifact the attack reproduces (figure/table/section).
+    figure: str
+    #: Whether the pattern adapts to defense state (per-ACT control)
+    #: or is open-loop (batchable through ``activate_many``).
+    adaptive: bool
+
+    def param_names(self) -> Tuple[str, ...]:
+        """Sweepable parameter names, from the runner's signature."""
+        signature = inspect.signature(self.runner)
+        return tuple(
+            name
+            for name in signature.parameters
+            if name not in _RESERVED_PARAMS
+        )
+
+
+_REGISTRY: Dict[str, _AttackKind] = {
+    kind.name: kind
+    for kind in (
+        _AttackKind(
+            "jailbreak", run_deterministic_jailbreak,
+            "deterministic queue-camping against Panopticon",
+            "Figure 5", adaptive=True,
+        ),
+        _AttackKind(
+            "ratchet", run_ratchet,
+            "inter-ALERT ratcheting of a primed pool against MOAT",
+            "Figure 10", adaptive=True,
+        ),
+        _AttackKind(
+            "feinting", run_feinting,
+            "harmonic-series feinting against ideal per-row counters",
+            "Table 2", adaptive=True,
+        ),
+        _AttackKind(
+            "postponement", run_postponement_attack,
+            "REF-postponement window against drain-all Panopticon",
+            "Figure 16", adaptive=True,
+        ),
+        _AttackKind(
+            "tsa", run_tsa,
+            "torrent of staggered ALERTs across banks vs MOAT",
+            "Figure 12", adaptive=True,
+        ),
+        _AttackKind(
+            "kernel-single", run_single_row_kernel,
+            "(A)^N single-row throughput kernel vs MOAT",
+            "Figure 13", adaptive=False,
+        ),
+        _AttackKind(
+            "kernel-multi", run_multi_row_kernel,
+            "(ABCDE)^N multi-row throughput kernel vs MOAT",
+            "Figure 13", adaptive=False,
+        ),
+        _AttackKind(
+            "trespass", run_many_aggressor_attack,
+            "many-aggressor thrashing of a few-entry TRR tracker",
+            "Section 2.4", adaptive=False,
+        ),
+    )
+}
+
+
+def attack_kinds() -> Tuple[str, ...]:
+    """Registered attack kind names."""
+    return tuple(_REGISTRY)
+
+
+def attack_descriptions() -> Dict[str, Dict[str, object]]:
+    """Registry-driven summary for CLI listings: ``{kind: {...}}``.
+
+    The CLI renders this directly, so help output can never drift from
+    the registry contents.
+    """
+    return {
+        kind.name: {
+            "description": kind.description,
+            "figure": kind.figure,
+            "adaptive": kind.adaptive,
+            "params": ", ".join(kind.param_names()),
+        }
+        for kind in _REGISTRY.values()
+    }
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """Declarative, hashable, picklable attack description.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so two
+    specs with the same parameters compare (and hash) equal regardless
+    of construction order. Use :meth:`of` to build one from kwargs.
+    Parameter names are validated against the runner signature.
+    """
+
+    kind: str = "jailbreak"
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _REGISTRY:
+            raise ValueError(
+                f"unknown attack kind {self.kind!r}; "
+                f"known: {', '.join(sorted(_REGISTRY))}"
+            )
+        allowed = set(_REGISTRY[self.kind].param_names())
+        for name, _ in self.params:
+            if name not in allowed:
+                raise ValueError(
+                    f"attack {self.kind!r} has no parameter {name!r}; "
+                    f"known: {', '.join(sorted(allowed))}"
+                )
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    @staticmethod
+    def of(kind: str, **params: Any) -> "AttackSpec":
+        return AttackSpec(kind, tuple(sorted(params.items())))
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def adaptive(self) -> bool:
+        return _REGISTRY[self.kind].adaptive
+
+    @property
+    def figure(self) -> str:
+        return _REGISTRY[self.kind].figure
+
+    def display_name(self) -> str:
+        if not self.params:
+            return self.kind
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}({inner})"
+
+    def execute(self, run: Optional[AttackRunConfig] = None) -> AttackResult:
+        """Run the attack through the shared ChannelSim front-end."""
+        runner = _REGISTRY[self.kind].runner
+        return runner(run=run or AttackRunConfig(), **self.param_dict())

@@ -10,10 +10,17 @@ contrast that motivates per-row counting in DRAM.
 
 from __future__ import annotations
 
-from repro.attacks.base import AttackResult, spaced_rows
+from typing import Optional
+
+from repro.attacks.base import (
+    AttackResult,
+    AttackRunConfig,
+    attack_rows,
+    build_channel,
+    resolve_run,
+)
 from repro.dram.refresh import CounterResetPolicy
 from repro.mitigations.trr import TrrTracker
-from repro.sim.engine import SimConfig, SubchannelSim
 
 
 def run_many_aggressor_attack(
@@ -21,32 +28,37 @@ def run_many_aggressor_attack(
     tracker_entries: int = 16,
     acts_per_aggressor: int = 512,
     mitigation_threshold: int = 32,
-    rows_per_bank: int = 64 * 1024,
-    num_groups: int = 8192,
+    rows_per_bank: Optional[int] = None,
+    num_groups: Optional[int] = None,
+    run: Optional[AttackRunConfig] = None,
 ) -> AttackResult:
     """Round-robin hammer ``num_aggressors`` rows against a TRR tracker.
 
     With ``num_aggressors > tracker_entries`` the tracker stays blind
     and ``max_danger`` approaches ``acts_per_aggressor``; with fewer
     aggressors the tracker mitigates them and exposure stays bounded.
+
+    The pattern is open-loop (a fixed round-robin), so it issues through
+    :meth:`~repro.sim.channel.ChannelSim.activate_many` one round at a
+    time.
     """
-    config = SimConfig(
-        rows_per_bank=rows_per_bank,
-        num_refresh_groups=num_groups,
+    run = resolve_run(run, rows_per_bank=rows_per_bank, num_refresh_groups=num_groups)
+    sim = build_channel(
+        run,
+        lambda: TrrTracker(
+            entries=tracker_entries, mitigation_threshold=mitigation_threshold
+        ),
         reset_policy=CounterResetPolicy.FREE_RUNNING,
         trefi_per_mitigation=4,
         reset_counter_on_mitigation=True,
     )
-    sim = SubchannelSim(
-        config,
-        lambda: TrrTracker(
-            entries=tracker_entries, mitigation_threshold=mitigation_threshold
-        ),
-    )
-    rows = spaced_rows(num_aggressors)
+    rows = attack_rows(run, num_aggressors)
     for _ in range(acts_per_aggressor):
-        for row in rows:
-            sim.activate(row)
+        # Open-loop round-robin, replicated on every sub-channel (one
+        # round per sub-channel per step; each sub-channel's tracker
+        # sees the full per-sub-channel pattern).
+        for sub in range(run.subchannels):
+            sim.activate_many(rows, subchannel=sub)
     sim.flush()
 
     return AttackResult(
@@ -56,5 +68,6 @@ def run_many_aggressor_attack(
         alerts=sim.alerts,
         elapsed_ns=sim.now,
         total_acts=sim.total_acts,
+        subchannels=run.subchannels,
         details={"aggressors": num_aggressors, "entries": tracker_entries},
     )

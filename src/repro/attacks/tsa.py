@@ -16,14 +16,21 @@ they never enter any tracker.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
-from repro.attacks.base import AttackResult, spaced_rows
+from repro.attacks.base import (
+    AttackResult,
+    AttackRunConfig,
+    attack_rows,
+    build_channel,
+    require_single_subchannel,
+    resolve_run,
+    subscribed,
+)
 from repro.dram.refresh import CounterResetPolicy
 from repro.mitigations.base import MitigationPolicy
 from repro.mitigations.moat import MoatPolicy
 from repro.mitigations.null import NullPolicy
-from repro.sim.engine import SimConfig, SubchannelSim
 
 
 def _run_tsa(
@@ -32,21 +39,21 @@ def _run_tsa(
     ath: int,
     rows_per_set: int,
     cycles: int,
-    rows_per_bank: int,
-    num_groups: int,
+    run: AttackRunConfig,
 ) -> AttackResult:
-    config = SimConfig(
+    sim = build_channel(
+        run,
+        policy_factory,
         num_banks=num_banks,
-        rows_per_bank=rows_per_bank,
-        num_refresh_groups=num_groups,
         reset_policy=CounterResetPolicy.SAFE,
         trefi_per_mitigation=5,
         abo_level=1,
         track_danger=False,
     )
-    sim = SubchannelSim(config, policy_factory)
-    rows = spaced_rows(rows_per_set)
-    fillers = spaced_rows(8, start=32_000)
+    rows = attack_rows(run, rows_per_set)
+    # Cold filler rows, far from the primed sets (historically 32 000;
+    # scaled into range for smaller banks).
+    fillers = attack_rows(run, 8, start=min(32_000, run.rows_per_bank // 2))
 
     # Attacker-side count mirrors, reset by the mitigation listener.
     counts: Dict[int, List[int]] = {b: [0] * rows_per_set for b in range(num_banks)}
@@ -54,8 +61,6 @@ def _run_tsa(
     def on_mitigation(bank: int, row: int, reactive: bool, time: float) -> None:
         if row in rows:
             counts[bank][rows.index(row)] = 0
-
-    sim.mitigation_listeners.append(on_mitigation)
 
     def act(bank: int, row_index: int) -> None:
         sim.activate(rows[row_index], bank=bank)
@@ -66,29 +71,33 @@ def _run_tsa(
             while counts[bank][index] < target:
                 act(bank, index)
 
-    for _ in range(cycles):
-        # Prime all banks round-robin, one ACT per bank per step, so the
-        # banks prime in parallel (bank-level parallelism: 320 ACTs per
-        # bank complete in ~320 tRC of wall-clock, Figure 12).
-        for _ in range(ath):
-            for index in range(rows_per_set):
-                for bank in range(num_banks):
-                    if counts[bank][index] < ath:
-                        act(bank, index)
-        # Staggered trigger phase: one bank at a time.
-        for bank in range(num_banks):
-            prime(bank, ath)  # top up rows stolen by earlier ALERTs
-            for index in range(rows_per_set):
-                act(bank, index)  # crosses ATH -> ALERT
-                for filler in fillers[:3]:
-                    sim.activate(filler, bank=bank)
-    sim.flush()
+    # The listener detaches when the attack finishes (or raises), so a
+    # reused engine never keeps counting into this run's mirrors.
+    with subscribed(sim, on_mitigation):
+        for _ in range(cycles):
+            # Prime all banks round-robin, one ACT per bank per step, so the
+            # banks prime in parallel (bank-level parallelism: 320 ACTs per
+            # bank complete in ~320 tRC of wall-clock, Figure 12).
+            for _ in range(ath):
+                for index in range(rows_per_set):
+                    for bank in range(num_banks):
+                        if counts[bank][index] < ath:
+                            act(bank, index)
+            # Staggered trigger phase: one bank at a time.
+            for bank in range(num_banks):
+                prime(bank, ath)  # top up rows stolen by earlier ALERTs
+                for index in range(rows_per_set):
+                    act(bank, index)  # crosses ATH -> ALERT
+                    for filler in fillers[:3]:
+                        sim.activate(filler, bank=bank)
+        sim.flush()
 
     return AttackResult(
         name=f"tsa({num_banks} banks)",
         alerts=sim.alerts,
         elapsed_ns=sim.now,
         total_acts=sim.total_acts,
+        subchannels=run.subchannels,
     )
 
 
@@ -97,8 +106,9 @@ def run_tsa(
     ath: int = 64,
     rows_per_set: int = 5,
     cycles: int = 4,
-    rows_per_bank: int = 64 * 1024,
-    num_groups: int = 8192,
+    rows_per_bank: Optional[int] = None,
+    num_groups: Optional[int] = None,
+    run: Optional[AttackRunConfig] = None,
 ) -> AttackResult:
     """Run TSA against MOAT and an unprotected baseline.
 
@@ -106,17 +116,18 @@ def run_tsa(
     fractional activation-throughput reduction versus the same pattern
     on DRAM that never ALERTs (Figure 12: ~24% at 4 banks, ~52% at 17).
     """
+    run = resolve_run(run, rows_per_bank=rows_per_bank, num_refresh_groups=num_groups)
+    require_single_subchannel(run, "tsa")
     protected = _run_tsa(
         lambda: MoatPolicy(ath=ath, level=1),
         num_banks,
         ath,
         rows_per_set,
         cycles,
-        rows_per_bank,
-        num_groups,
+        run,
     )
     baseline = _run_tsa(
-        NullPolicy, num_banks, ath, rows_per_set, cycles, rows_per_bank, num_groups
+        NullPolicy, num_banks, ath, rows_per_set, cycles, run
     )
     loss = 1.0 - (protected.throughput / baseline.throughput)
     protected.name = f"tsa({num_banks} banks, ATH={ath})"

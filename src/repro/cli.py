@@ -2,7 +2,11 @@
 
 Commands:
 
-* ``attack`` — run one of the paper's attacks and print the result.
+* ``attack`` — the security evaluation: ``attack run`` executes one
+  registered attack through the channel stack, ``attack sweep`` runs a
+  paper security-figure grid in parallel (with ``BENCH_attack.json``
+  artifacts and baseline gating), ``attack list`` prints the attack
+  registry.
 * ``perf`` — evaluate a mitigation policy on a Table 4 workload (or a
   recorded address trace via ``--trace``), optionally across multiple
   sub-channels (``--channels``); ``--list-policies`` prints the
@@ -32,32 +36,41 @@ from repro.analysis.throughput import (
     alert_window_throughput,
     continuous_alert_slowdown,
 )
-from repro.attacks import (
-    run_deterministic_jailbreak,
-    run_feinting,
-    run_postponement_attack,
-    run_ratchet,
-    run_tsa,
+from repro.attacks.base import AttackResult, AttackRunConfig
+from repro.attacks.registry import (
+    AttackSpec,
+    attack_descriptions,
+    attack_kinds,
 )
-from repro.attacks.base import AttackResult
 from repro.mitigations.registry import (
     PolicySpec,
     policy_descriptions,
     policy_kinds,
 )
 from repro.report.tables import format_table
+from repro.sim.attack_perf import run_attack
 from repro.sim.mapping import CoffeeLakeMapping
 from repro.sim.perf import RunConfig, run_trace, run_workload
 from repro.trace import AddressTrace, load_trace
 from repro.sweep.artifacts import (
+    ATTACK_GATED_METRICS,
+    ATTACK_SCHEMA,
     DEFAULT_ATOL,
     DEFAULT_RTOL,
+    GATED_METRICS,
+    SCHEMA,
     check_against_baseline,
     default_baseline_path,
     git_toplevel,
     make_artifact,
+    make_attack_artifact,
     write_artifact,
 )
+from repro.sweep.attack_runner import (
+    DEFAULT_ATTACK_CACHE_DIR,
+    run_attack_sweep,
+)
+from repro.sweep.attack_spec import ATTACK_PRESETS, attack_preset
 from repro.sweep.runner import DEFAULT_CACHE_DIR, run_sweep
 from repro.sweep.spec import PRESETS, preset
 from repro.workloads.profiles import TABLE4_PROFILES, profile_by_name
@@ -75,21 +88,156 @@ def _print_attack(result: AttackResult) -> None:
     print(format_table(["metric", "value"], rows, title=result.name))
 
 
-def _cmd_attack(args: argparse.Namespace) -> int:
-    if args.name == "jailbreak":
-        result = run_deterministic_jailbreak(threshold=args.threshold)
-    elif args.name == "feinting":
-        result = run_feinting(trefi_per_mitigation=args.rate, periods=args.periods)
-    elif args.name == "ratchet":
-        result = run_ratchet(ath=args.ath, pool_size=args.pool, abo_level=args.level)
-    elif args.name == "postponement":
-        result = run_postponement_attack(threshold=args.threshold)
-    elif args.name == "tsa":
-        result = run_tsa(num_banks=args.banks, ath=args.ath)
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(args.name)
+#: Legacy convenience flags of ``repro attack run`` mapped onto the
+#: registry parameter they set (only when explicitly provided).
+_ATTACK_FLAG_PARAMS = (
+    ("threshold", "threshold"),
+    ("ath", "ath"),
+    ("pool", "pool_size"),
+    ("level", "abo_level"),
+    ("rate", "trefi_per_mitigation"),
+    ("periods", "periods"),
+    ("banks", "num_banks"),
+)
+
+#: CLI-level parameter defaults applied when the user sets nothing.
+#: feinting's library default is a full refresh window (2048 periods,
+#: tens of seconds); the CLI keeps the historical 256-period quick run.
+_ATTACK_RUN_DEFAULTS = {
+    "feinting": {"periods": 256},
+}
+
+
+def _parse_set_value(raw: str):
+    for parse in (int, float):
+        try:
+            return parse(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _cmd_attack_list(_args: argparse.Namespace) -> int:
+    rows = [
+        (
+            kind,
+            info["figure"],
+            "adaptive" if info["adaptive"] else "open-loop",
+            info["description"],
+        )
+        for kind, info in sorted(attack_descriptions().items())
+    ]
+    print(format_table(
+        ["attack", "paper", "pattern", "description"], rows,
+        title="Registered attacks"))
+    return 0
+
+
+def _cmd_attack_run(args: argparse.Namespace) -> int:
+    params = {}
+    for flag, param in _ATTACK_FLAG_PARAMS:
+        value = getattr(args, flag)
+        if value is not None:
+            params[param] = value
+    for item in args.set or []:
+        if "=" not in item:
+            print(f"error: --set expects name=value, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        name, _, raw = item.partition("=")
+        value = _parse_set_value(raw)
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        if not isinstance(value, int):
+            # Every registered attack parameter is an integer (counts,
+            # thresholds, levels); catching this here keeps type
+            # errors out of the attack internals.
+            print(f"error: --set {name} expects an integer value, "
+                  f"got {raw!r}", file=sys.stderr)
+            return 2
+        params[name] = value
+    for name, value in _ATTACK_RUN_DEFAULTS.get(args.name, {}).items():
+        params.setdefault(name, value)
+    if args.subchannels < 1:
+        print("error: --subchannels must be at least 1", file=sys.stderr)
+        return 2
+    run_config = AttackRunConfig(subchannels=args.subchannels, seed=args.seed)
+    try:
+        result = run_attack(AttackSpec.of(args.name, **params), run_config)
+    except ValueError as exc:
+        # Bad parameter names (AttackSpec validation), impossible
+        # geometry, or an adaptive attack at subchannels > 1.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     _print_attack(result)
     return 0
+
+
+def _cmd_attack_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [
+            (spec.name, len(spec.points()), spec.description)
+            for spec in ATTACK_PRESETS.values()
+        ]
+        print(format_table(["preset", "points", "description"], rows,
+                           title="Attack sweep presets"))
+        return 0
+    if not args.preset:
+        print("error: a preset name (or --list-presets) is required",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = attack_preset(args.preset)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    spec = spec.with_overrides(seed=args.seed)
+
+    progress = None
+    if not args.quiet:
+        progress = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
+    cache_dir = None if args.no_cache else Path(args.cache_dir)
+    result = run_attack_sweep(
+        spec, jobs=args.jobs, cache_dir=cache_dir, progress=progress
+    )
+
+    def tput_loss(metrics):
+        # Absence of the metric is not a measured zero: only the
+        # throughput attacks (kernels, TSA) report a loss at all.
+        loss = metrics.get("detail:throughput_loss")
+        return "-" if loss is None else f"{loss * 100:.1f}%"
+
+    rows = [
+        (
+            r.attack,
+            r.figure,
+            f"{r.metrics.get('acts_on_attack_row', 0.0):.0f}",
+            f"{r.metrics.get('max_danger', 0.0):.0f}",
+            f"{r.metrics.get('alerts', 0.0):.0f}",
+            tput_loss(r.metrics),
+            "hit" if r.cached else f"{r.wall_clock_s:.1f}s",
+        )
+        for r in result.results
+    ]
+    print(
+        format_table(
+            ["attack", "paper", "attack-row ACTs", "max danger",
+             "ALERTs", "tput loss", "time"],
+            rows,
+            title=f"Attack sweep {spec.name} (jobs={args.jobs}, "
+            f"{result.cache_hits} cached)",
+        )
+    )
+
+    artifact = make_attack_artifact(result)
+    return _emit_artifact_and_gate(
+        args,
+        artifact,
+        out_default=f"BENCH_attack_{spec.name}.json",
+        baseline_name=f"attack_{spec.name}",
+        schema=ATTACK_SCHEMA,
+        gated_metrics=ATTACK_GATED_METRICS,
+    )
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -261,7 +409,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
 
     artifact = make_artifact(result)
-    out_path = Path(args.out) if args.out else Path(f"BENCH_sweep_{spec.name}.json")
+    return _emit_artifact_and_gate(
+        args,
+        artifact,
+        out_default=f"BENCH_sweep_{spec.name}.json",
+        baseline_name=spec.name,
+        schema=SCHEMA,
+        gated_metrics=GATED_METRICS,
+    )
+
+
+def _emit_artifact_and_gate(
+    args: argparse.Namespace,
+    artifact: dict,
+    out_default: str,
+    baseline_name: str,
+    schema: str,
+    gated_metrics,
+) -> int:
+    """Write a sweep artifact and apply --baseline/--write-baseline/
+    --check — identical semantics for both sweep families."""
+    out_path = Path(args.out) if args.out else Path(out_default)
     write_artifact(out_path, artifact)
     print(f"artifact: {out_path}", file=sys.stderr)
 
@@ -271,18 +439,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Committed baselines live in the repo; anchor at the git
         # toplevel so the installed `repro` script finds them from
         # any working directory inside the checkout.
-        baseline = default_baseline_path(spec.name)
+        baseline = default_baseline_path(baseline_name)
         if not baseline.is_file():
             toplevel = git_toplevel()
             if toplevel is not None:
-                baseline = default_baseline_path(spec.name, root=toplevel)
+                baseline = default_baseline_path(baseline_name, root=toplevel)
     if args.write_baseline:
         write_artifact(baseline, artifact)
         print(f"baseline written: {baseline}", file=sys.stderr)
         return 0
     if args.check:
         ok, problems = check_against_baseline(
-            artifact, baseline, rtol=args.rtol, atol=args.atol
+            artifact, baseline, rtol=args.rtol, atol=args.atol,
+            schema=schema, gated_metrics=gated_metrics,
         )
         if not ok:
             print(f"BASELINE CHECK FAILED ({baseline}):", file=sys.stderr)
@@ -330,6 +499,51 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_sweep_common_flags(
+    parser: argparse.ArgumentParser,
+    preset_help: str,
+    list_help: str,
+    artifact_default: str,
+    baseline_default: str,
+    cache_dir_default: str,
+) -> None:
+    """Flag cluster shared by ``sweep`` and ``attack sweep``.
+
+    Both commands expose identical orchestration/gating semantics
+    (jobs, seed, artifact output, baseline check/write, tolerances,
+    point cache, progress) — declared once so they cannot diverge.
+    """
+    parser.add_argument("preset", nargs="?", default=None, help=preset_help)
+    parser.add_argument("--list", "--list-presets", dest="list",
+                        action="store_true", help=list_help)
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1),
+                        help="worker processes (default: CPU count)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the sweep seed")
+    parser.add_argument("--out", default=None,
+                        help=f"artifact path (default: {artifact_default})")
+    gate = parser.add_mutually_exclusive_group()
+    gate.add_argument("--check", action="store_true",
+                      help="diff against the committed baseline; "
+                      "exit 1 on regression")
+    gate.add_argument("--write-baseline", action="store_true",
+                      help="write this run as the new baseline "
+                      "(mutually exclusive with --check)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline path (default: {baseline_default})")
+    parser.add_argument("--rtol", type=float, default=DEFAULT_RTOL,
+                        help="relative metric tolerance for --check")
+    parser.add_argument("--atol", type=float, default=DEFAULT_ATOL,
+                        help="absolute metric tolerance for --check")
+    parser.add_argument("--cache-dir", default=cache_dir_default,
+                        help="per-point result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the per-point result cache")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress on stderr")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -337,22 +551,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    attack = sub.add_parser("attack", help="run one of the paper's attacks")
-    attack.add_argument(
-        "name",
-        choices=["jailbreak", "feinting", "ratchet", "postponement", "tsa"],
+    attack = sub.add_parser(
+        "attack",
+        help="run or sweep the paper's attacks (security evaluation)",
     )
-    attack.add_argument("--threshold", type=int, default=128,
-                        help="Panopticon queueing threshold")
-    attack.add_argument("--ath", type=int, default=64, help="MOAT ALERT threshold")
-    attack.add_argument("--pool", type=int, default=64, help="Ratchet pool size")
-    attack.add_argument("--level", type=int, default=1, choices=[1, 2, 4])
-    attack.add_argument("--rate", type=int, default=4,
-                        help="feinting: tREFI per proactive mitigation")
-    attack.add_argument("--periods", type=int, default=256,
-                        help="feinting: mitigation periods to attack over")
-    attack.add_argument("--banks", type=int, default=4, help="TSA bank count")
-    attack.set_defaults(func=_cmd_attack)
+    attack_sub = attack.add_subparsers(dest="action", required=True)
+
+    attack_run = attack_sub.add_parser(
+        "run", help="run one registered attack and print the result"
+    )
+    attack_run.add_argument("name", choices=sorted(attack_kinds()),
+                            help="attack kind (see 'attack list')")
+    attack_run.add_argument("--threshold", type=int, default=None,
+                            help="Panopticon queueing threshold")
+    attack_run.add_argument("--ath", type=int, default=None,
+                            help="MOAT ALERT threshold")
+    attack_run.add_argument("--pool", type=int, default=None,
+                            help="Ratchet pool size")
+    attack_run.add_argument("--level", type=int, default=None,
+                            choices=[1, 2, 4], help="ABO level")
+    attack_run.add_argument("--rate", type=int, default=None,
+                            help="feinting: tREFI per proactive mitigation")
+    attack_run.add_argument("--periods", type=int, default=None,
+                            help="feinting: mitigation periods to attack "
+                            "over (CLI default 256; the library default "
+                            "is a full window, 2048)")
+    attack_run.add_argument("--banks", type=int, default=None,
+                            help="TSA bank count")
+    attack_run.add_argument("--set", action="append", metavar="NAME=VALUE",
+                            help="set any registry parameter "
+                            "(repeatable; see 'attack list' for names)")
+    attack_run.add_argument("--subchannels", type=int, default=1, metavar="N",
+                            help="sub-channels in the simulated channel "
+                            "(open-loop patterns replicate across them; "
+                            "adaptive attacks require 1)")
+    attack_run.add_argument("--seed", type=int, default=0)
+    attack_run.set_defaults(func=_cmd_attack_run)
+
+    attack_sweep = attack_sub.add_parser(
+        "sweep",
+        help="run a paper security-figure attack grid in parallel",
+    )
+    _add_sweep_common_flags(
+        attack_sweep,
+        preset_help="preset name (see --list-presets)",
+        list_help="list available attack presets and exit",
+        artifact_default="BENCH_attack_<preset>.json",
+        baseline_default="benchmarks/baselines/attack_<preset>.json",
+        cache_dir_default=str(DEFAULT_ATTACK_CACHE_DIR),
+    )
+    attack_sweep.set_defaults(func=_cmd_attack_sweep)
+
+    attack_list = attack_sub.add_parser(
+        "list", help="list the registered attacks"
+    )
+    attack_list.set_defaults(func=_cmd_attack_list)
 
     perf = sub.add_parser("perf", help="evaluate a mitigation policy on a workload")
     perf.add_argument("workload", nargs="?", default=None,
@@ -396,42 +649,19 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a paper figure/table experiment grid in parallel",
     )
-    sweep.add_argument("preset", nargs="?", default=None,
-                       help="preset name (see --list-presets)")
-    sweep.add_argument("--list", "--list-presets", dest="list",
-                       action="store_true",
-                       help="list available presets and exit")
-    sweep.add_argument("--jobs", type=int, default=max(1, os.cpu_count() or 1),
-                       help="worker processes (default: CPU count)")
     sweep.add_argument("--trefi", type=int, default=None,
                        help="override simulated tREFI intervals "
                        "(512 = smoke scale, 8192 = full window)")
-    sweep.add_argument("--seed", type=int, default=None,
-                       help="override the sweep seed")
     sweep.add_argument("--workloads", default=None,
                        help="comma-separated workload subset override")
-    sweep.add_argument("--out", default=None,
-                       help="artifact path (default: BENCH_sweep_<preset>.json)")
-    gate = sweep.add_mutually_exclusive_group()
-    gate.add_argument("--check", action="store_true",
-                      help="diff against the committed baseline; "
-                      "exit 1 on regression")
-    gate.add_argument("--write-baseline", action="store_true",
-                      help="write this run as the new baseline "
-                      "(mutually exclusive with --check)")
-    sweep.add_argument("--baseline", default=None,
-                       help="baseline path (default: "
-                       "benchmarks/baselines/<preset>.json)")
-    sweep.add_argument("--rtol", type=float, default=DEFAULT_RTOL,
-                       help="relative metric tolerance for --check")
-    sweep.add_argument("--atol", type=float, default=DEFAULT_ATOL,
-                       help="absolute metric tolerance for --check")
-    sweep.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
-                       help="per-point result cache directory")
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="disable the per-point result cache")
-    sweep.add_argument("--quiet", action="store_true",
-                       help="suppress per-point progress on stderr")
+    _add_sweep_common_flags(
+        sweep,
+        preset_help="preset name (see --list-presets)",
+        list_help="list available presets and exit",
+        artifact_default="BENCH_sweep_<preset>.json",
+        baseline_default="benchmarks/baselines/<preset>.json",
+        cache_dir_default=str(DEFAULT_CACHE_DIR),
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     model = sub.add_parser("model", help="print an analytical model table")

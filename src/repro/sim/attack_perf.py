@@ -1,0 +1,55 @@
+"""Security-evaluation front-end: attacks through the channel stack.
+
+The attack analogue of :mod:`repro.sim.perf`: a declarative
+:class:`~repro.attacks.registry.AttackSpec` plus a shared
+:class:`~repro.attacks.base.AttackRunConfig` (geometry, sub-channel
+count, seed, timing) fully describe one security run, and
+:func:`run_attack` executes it through the channel → sub-channel → bank
+hierarchy (:class:`~repro.sim.channel.ChannelSim`). At one sub-channel
+the results are bit-identical to the historical bare-engine attack
+harness (pinned in ``tests/attacks/test_attack_port_identity.py``).
+
+This module is what the attack sweep runner
+(:mod:`repro.sweep.attack_runner`) calls in worker processes: both
+halves of the description are hashable and picklable, so attack points
+cache and parallelize exactly like performance points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.attacks.base import AttackResult, AttackRunConfig
+from repro.attacks.registry import AttackSpec
+
+__all__ = ["AttackRunConfig", "AttackResult", "AttackSpec", "run_attack"]
+
+
+def run_attack(
+    attack: Union[AttackSpec, str],
+    run: Optional[AttackRunConfig] = None,
+    **params: object,
+) -> AttackResult:
+    """Execute one attack against its target design.
+
+    Args:
+        attack: An :class:`AttackSpec`, or a registered kind name
+            (convenience: ``run_attack("ratchet", pool_size=16)``).
+        run: Shared run configuration; defaults to the paper geometry
+            at one sub-channel.
+        params: Extra attack parameters merged into the spec (only
+            valid with a string ``attack``; a ready spec is immutable).
+
+    Returns:
+        The attack's :class:`AttackResult`.
+    """
+    if isinstance(attack, str):
+        spec = AttackSpec.of(attack, **params)
+    else:
+        if params:
+            raise TypeError(
+                "params are only accepted with a kind name; "
+                "build the AttackSpec with AttackSpec.of(...) instead"
+            )
+        spec = attack
+    return spec.execute(run)

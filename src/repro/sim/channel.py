@@ -197,6 +197,26 @@ class ChannelSim:
         return self.subchannels[0]
 
     @property
+    def timing(self):
+        """DRAM timing shared by every sub-channel."""
+        return self.config.sim.timing
+
+    @property
+    def bank(self):
+        """First bank of the first sub-channel (attack convenience)."""
+        return self.subchannels[0].bank
+
+    @property
+    def postpone_refs(self) -> bool:
+        """Attacker-controlled REF postponement (all sub-channels)."""
+        return all(sub.postpone_refs for sub in self.subchannels)
+
+    @postpone_refs.setter
+    def postpone_refs(self, value: bool) -> None:
+        for sub in self.subchannels:
+            sub.postpone_refs = value
+
+    @property
     def total_acts(self) -> int:
         return sum(sub.total_acts for sub in self.subchannels)
 

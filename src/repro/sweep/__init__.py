@@ -7,22 +7,41 @@ declarative, cacheable, parallel evaluation backbone:
   level x mitigation policy, with named presets for every paper
   figure/table (``fig11``, ``fig17``, ``table5``, ``table6``,
   ``table7``, ``ablation``).
-* :mod:`repro.sweep.runner` — a ``ProcessPoolExecutor``-based runner
-  with per-point result caching keyed on a config hash, deterministic
-  seeding (parallel == serial), and resume-on-rerun.
-* :mod:`repro.sweep.artifacts` — ``BENCH_sweep.json`` artifact
-  emission and baseline diffing for CI gating
-  (``repro sweep <preset> --check``).
+* :mod:`repro.sweep.attack_spec` — attack grids over
+  :class:`~repro.attacks.registry.AttackSpec` x sub-channels, with
+  named presets for every paper security figure (``fig5``, ``fig10``,
+  ``fig13``, ``tsa``, ``feinting``, ``postponement``).
+* :mod:`repro.sweep.runner` / :mod:`repro.sweep.attack_runner` —
+  ``ProcessPoolExecutor``-based runners with per-point result caching
+  keyed on a config hash, deterministic seeding (parallel == serial),
+  and resume-on-rerun.
+* :mod:`repro.sweep.artifacts` — ``BENCH_sweep.json`` /
+  ``BENCH_attack.json`` artifact emission and baseline diffing for CI
+  gating (``repro sweep <preset> --check``,
+  ``repro attack sweep <preset> --check``).
 """
 
 from repro.sweep.artifacts import (
+    ATTACK_SCHEMA,
     SCHEMA,
     check_against_baseline,
     default_baseline_path,
     diff_artifacts,
     load_artifact,
     make_artifact,
+    make_attack_artifact,
     write_artifact,
+)
+from repro.sweep.attack_runner import (
+    AttackPointResult,
+    AttackSweepResult,
+    run_attack_sweep,
+)
+from repro.sweep.attack_spec import (
+    ATTACK_PRESETS,
+    AttackSweepPoint,
+    AttackSweepSpec,
+    attack_preset,
 )
 from repro.sweep.runner import PointResult, SweepResult, run_sweep
 from repro.sweep.spec import (
@@ -34,19 +53,28 @@ from repro.sweep.spec import (
 )
 
 __all__ = [
+    "ATTACK_PRESETS",
+    "ATTACK_SCHEMA",
     "PRESETS",
     "SCHEMA",
     "SWEEP_WORKLOADS",
+    "AttackPointResult",
+    "AttackSweepPoint",
+    "AttackSweepResult",
+    "AttackSweepSpec",
     "PointResult",
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
+    "attack_preset",
     "check_against_baseline",
     "default_baseline_path",
     "diff_artifacts",
     "load_artifact",
     "make_artifact",
+    "make_attack_artifact",
     "preset",
+    "run_attack_sweep",
     "run_sweep",
     "write_artifact",
 ]

@@ -1,6 +1,11 @@
 """Machine-readable sweep artifacts and baseline gating.
 
-Every sweep run can be serialized to a ``BENCH_sweep.json`` artifact:
+Two artifact families share this machinery: performance sweeps
+serialize to ``BENCH_sweep.json`` (schema :data:`SCHEMA`, gated on
+:data:`GATED_METRICS`) and attack sweeps to ``BENCH_attack.json``
+(schema :data:`ATTACK_SCHEMA`, gated on :data:`ATTACK_GATED_METRICS`,
+built by :func:`make_attack_artifact`). A performance artifact looks
+like:
 
 .. code-block:: json
 
@@ -46,6 +51,9 @@ from repro.sweep.runner import SweepResult
 
 SCHEMA = "repro.sweep/v1"
 
+#: Schema of ``BENCH_attack.json`` artifacts (attack sweeps).
+ATTACK_SCHEMA = "repro.attack/v1"
+
 #: Default relative location of committed baselines.
 BASELINE_DIR = Path("benchmarks") / "baselines"
 
@@ -61,6 +69,22 @@ GATED_METRICS = (
     "total_acts",
     "proactive_mitigations",
     "reactive_mitigations",
+)
+
+#: Gated metrics of attack artifacts. Everything a deterministic
+#: attack reports is gateable; per-attack ``detail:`` metrics missing
+#: from a point are simply skipped by the diff.
+ATTACK_GATED_METRICS = (
+    "acts_on_attack_row",
+    "max_danger",
+    "alerts",
+    "total_acts",
+    "elapsed_ns",
+    "throughput",
+    "detail:throughput_loss",
+    "detail:normalized_throughput",
+    "detail:baseline_ns",
+    "detail:survivors",
 )
 
 DEFAULT_RTOL = 0.05
@@ -148,18 +172,54 @@ def make_artifact(result: SweepResult, git_rev: Optional[str] = None) -> Dict:
     }
 
 
+def make_attack_artifact(result, git_rev: Optional[str] = None) -> Dict:
+    """Serialize an attack sweep into the ``BENCH_attack.json`` schema.
+
+    Same layout as :func:`make_artifact`, with attack identity fields
+    (``attack``, ``kind``, ``figure``, ``subchannels``) in place of the
+    performance sweep's workload/policy columns.
+    """
+    spec = result.spec
+    return {
+        "schema": ATTACK_SCHEMA,
+        "preset": spec.name,
+        "description": spec.description,
+        "sweep_hash": spec.sweep_hash(),
+        "git_rev": git_revision() if git_rev is None else git_rev,
+        "created_utc": utc_now(),
+        "seed": spec.seed,
+        "jobs": result.jobs,
+        "wall_clock_s": round(result.wall_clock_s, 3),
+        "compute_time_s": round(result.compute_time_s, 3),
+        "cache_hits": result.cache_hits,
+        "aggregates": result.aggregates(),
+        "points": {
+            r.key: {
+                "config_hash": r.config_hash,
+                "attack": r.attack,
+                "kind": r.kind,
+                "figure": r.figure,
+                "subchannels": r.subchannels,
+                "metrics": dict(r.metrics),
+                "wall_clock_s": round(r.wall_clock_s, 3),
+            }
+            for r in result.results
+        },
+    }
+
+
 def write_artifact(path: Path, artifact: Dict) -> None:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
 
 
-def load_artifact(path: Path) -> Dict:
+def load_artifact(path: Path, schema: str = SCHEMA) -> Dict:
     data = json.loads(Path(path).read_text())
-    if data.get("schema") != SCHEMA:
+    if data.get("schema") != schema:
         raise ValueError(
             f"{path}: unsupported artifact schema {data.get('schema')!r} "
-            f"(expected {SCHEMA!r})"
+            f"(expected {schema!r})"
         )
     return data
 
@@ -175,6 +235,7 @@ def diff_artifacts(
     current: Dict,
     rtol: float = DEFAULT_RTOL,
     atol: float = DEFAULT_ATOL,
+    gated_metrics: Tuple[str, ...] = GATED_METRICS,
 ) -> List[str]:
     """Compare ``current`` against ``baseline``; returns problems.
 
@@ -208,7 +269,7 @@ def diff_artifacts(
                 "generator semantics changed; regenerate the baseline)"
             )
             continue
-        for metric in GATED_METRICS:
+        for metric in gated_metrics:
             if metric not in base.get("metrics", {}):
                 continue
             got_raw = point.get("metrics", {}).get(metric)
@@ -245,8 +306,14 @@ def check_against_baseline(
     baseline_path: Path,
     rtol: float = DEFAULT_RTOL,
     atol: float = DEFAULT_ATOL,
+    schema: str = SCHEMA,
+    gated_metrics: Tuple[str, ...] = GATED_METRICS,
 ) -> Tuple[bool, List[str]]:
-    """Gate an already-serialized sweep artifact on a baseline file."""
+    """Gate an already-serialized sweep artifact on a baseline file.
+
+    Works for both artifact families: pass ``schema=ATTACK_SCHEMA`` and
+    ``gated_metrics=ATTACK_GATED_METRICS`` for attack sweeps.
+    """
     path = Path(baseline_path)
     if not path.is_file():
         return False, [
@@ -254,10 +321,12 @@ def check_against_baseline(
             "`repro sweep ... --write-baseline`)"
         ]
     try:
-        baseline = load_artifact(path)
+        baseline = load_artifact(path, schema=schema)
     except (OSError, ValueError) as exc:
         # Truncated, hand-edited, or wrong-schema baselines must fail
         # the gate with a problem line, not a traceback.
         return False, [f"unreadable baseline: {exc}"]
-    problems = diff_artifacts(baseline, artifact, rtol=rtol, atol=atol)
+    problems = diff_artifacts(
+        baseline, artifact, rtol=rtol, atol=atol, gated_metrics=gated_metrics
+    )
     return not problems, problems

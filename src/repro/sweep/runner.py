@@ -155,28 +155,100 @@ def _cache_path(cache_dir: Path, config_hash: str) -> Path:
     return cache_dir / f"{config_hash}.json"
 
 
-def _load_cached(cache_dir: Path, point: SweepPoint) -> Optional[PointResult]:
-    path = _cache_path(cache_dir, point.config_hash())
+def _load_cached(cache_dir: Path, config_hash: str, from_json):
+    path = _cache_path(cache_dir, config_hash)
     if not path.is_file():
         return None
     try:
         data = json.loads(path.read_text())
     except (OSError, ValueError):
         return None
-    if data.get("config_hash") != point.config_hash():
+    if data.get("config_hash") != config_hash:
         return None  # stale/corrupt entry; recompute
     try:
-        return PointResult.from_json(data, cached=True)
+        return from_json(data, cached=True)
     except (KeyError, TypeError, ValueError):
         return None
 
 
-def _store_cached(cache_dir: Path, result: PointResult) -> None:
+def _store_cached(cache_dir: Path, result) -> None:
     cache_dir.mkdir(parents=True, exist_ok=True)
     path = _cache_path(cache_dir, result.config_hash)
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
     tmp.write_text(json.dumps(result.to_json(), indent=1, sort_keys=True))
     os.replace(tmp, path)
+
+
+def run_cached_grid(
+    points,
+    execute,
+    from_json,
+    jobs: int = 1,
+    cache_dir: Optional[Path] = None,
+    progress: Optional[ProgressFn] = None,
+):
+    """Shared cache/pool orchestration for both sweep families.
+
+    Probes the on-disk cache for every point, runs the misses through a
+    ``ProcessPoolExecutor`` (or in-process when ``jobs == 1``), stores
+    fresh results, and reassembles everything in point order.
+
+    Args:
+        points: Grid cells exposing ``config_hash()``.
+        execute: Module-level worker ``point -> result`` (picklable);
+            results expose ``key``, ``config_hash``, ``cached``,
+            ``wall_clock_s``, and ``to_json()``.
+        from_json: Result codec ``(data, cached) -> result`` used to
+            revive cache entries (exceptions mean recompute).
+        jobs: Worker processes (``1`` = serial, in-process).
+        cache_dir: Per-point result cache; ``None`` disables caching.
+        progress: Optional callback receiving one line per finished
+            point (``[done/total] key (cached|12.3s)``).
+
+    Returns:
+        Results in the same order as ``points``.
+    """
+    total = len(points)
+    results: Dict[int, object] = {}
+
+    def note(index: int, result) -> None:
+        results[index] = result
+        if progress is not None:
+            status = "cached" if result.cached else f"{result.wall_clock_s:.1f}s"
+            progress(f"[{len(results)}/{total}] {result.key} ({status})")
+
+    pending: List[int] = []
+    for index, point in enumerate(points):
+        cached = (
+            _load_cached(cache_dir, point.config_hash(), from_json)
+            if cache_dir
+            else None
+        )
+        if cached is not None:
+            note(index, cached)
+        else:
+            pending.append(index)
+
+    if pending and jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(execute, points[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    result = future.result()
+                    if cache_dir:
+                        _store_cached(cache_dir, result)
+                    note(index, result)
+    else:
+        for index in pending:
+            result = execute(points[index])
+            if cache_dir:
+                _store_cached(cache_dir, result)
+            note(index, result)
+
+    return [results[i] for i in range(total)]
 
 
 def run_sweep(
@@ -195,44 +267,14 @@ def run_sweep(
             point (``[done/total] key (cached|12.3s)``).
     """
     started = time.perf_counter()
-    points = spec.points()
-    total = len(points)
-    results: Dict[int, PointResult] = {}
-
-    def note(index: int, result: PointResult) -> None:
-        results[index] = result
-        if progress is not None:
-            status = "cached" if result.cached else f"{result.wall_clock_s:.1f}s"
-            progress(f"[{len(results)}/{total}] {result.key} ({status})")
-
-    pending: List[int] = []
-    for index, point in enumerate(points):
-        cached = _load_cached(cache_dir, point) if cache_dir else None
-        if cached is not None:
-            note(index, cached)
-        else:
-            pending.append(index)
-
-    if pending and jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(execute_point, points[i]): i for i in pending}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = futures[future]
-                    result = future.result()
-                    if cache_dir:
-                        _store_cached(cache_dir, result)
-                    note(index, result)
-    else:
-        for index in pending:
-            result = execute_point(points[index])
-            if cache_dir:
-                _store_cached(cache_dir, result)
-            note(index, result)
-
-    ordered = [results[i] for i in range(total)]
+    ordered = run_cached_grid(
+        spec.points(),
+        execute_point,
+        PointResult.from_json,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
     return SweepResult(
         spec=spec,
         results=ordered,

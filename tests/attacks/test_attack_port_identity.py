@@ -1,0 +1,100 @@
+"""Bit-identity pins across the ChannelSim port of the attack harness.
+
+These expectations were captured from the pre-port attack modules (the
+ones that constructed a bare ``SubchannelSim`` with private ``SimConfig``
+instances). The port routes every attack through
+:class:`~repro.sim.channel.ChannelSim`, which is bit-identical to the
+bare engine at one sub-channel, so every number here — including the
+float time bases — must survive the refactor exactly. A drift in any of
+them means the port changed simulation semantics, not just plumbing.
+"""
+
+import pytest
+
+from repro.attacks import (
+    run_deterministic_jailbreak,
+    run_feinting,
+    run_many_aggressor_attack,
+    run_multi_row_kernel,
+    run_postponement_attack,
+    run_ratchet,
+    run_single_row_kernel,
+    run_tsa,
+)
+
+exact = pytest.approx  # floats are deterministic; no tolerance
+
+
+def check(result, acts, danger, alerts, elapsed, total):
+    assert result.acts_on_attack_row == acts
+    assert result.max_danger == danger
+    assert result.alerts == alerts
+    assert result.elapsed_ns == exact(elapsed, rel=0, abs=0)
+    assert result.total_acts == total
+
+
+class TestAdaptiveAttackIdentity:
+    """The adaptive attacks the tentpole must keep bit-identical."""
+
+    def test_deterministic_jailbreak(self):
+        result = run_deterministic_jailbreak()
+        check(result, acts=1121, danger=1120, alerts=0,
+              elapsed=187610.0, total=2017)
+
+    def test_ratchet_level1(self):
+        result = run_ratchet(ath=64, pool_size=16)
+        check(result, acts=76, danger=76, alerts=16,
+              elapsed=76838.0, total=1215)
+
+    def test_ratchet_level4(self):
+        result = run_ratchet(ath=64, pool_size=8, abo_level=4)
+        check(result, acts=66, danger=66, alerts=2,
+              elapsed=33398.0, total=524)
+
+    def test_feinting(self):
+        result = run_feinting(trefi_per_mitigation=4, periods=64)
+        check(result, acts=1265, danger=1234, alerts=0,
+              elapsed=998400.0, total=17152)
+        assert result.details["survivors"] == 0
+
+    def test_tsa(self):
+        result = run_tsa(num_banks=4, cycles=2)
+        check(result, acts=0, danger=0, alerts=40,
+              elapsed=83526.0, total=3104)
+        assert result.details["throughput_loss"] == exact(
+            0.28488800559772476, rel=0, abs=0
+        )
+
+
+class TestOpenLoopAttackIdentity:
+    """Non-adaptive patterns (candidates for activate_many batching)."""
+
+    def test_postponement(self):
+        result = run_postponement_attack()
+        check(result, acts=329, danger=328, alerts=0,
+              elapsed=24630.0, total=329)
+
+    def test_trespass(self):
+        result = run_many_aggressor_attack(
+            num_aggressors=32, tracker_entries=16, acts_per_aggressor=256
+        )
+        check(result, acts=256, danger=256, alerts=0,
+              elapsed=476678.0, total=8192)
+
+    def test_single_row_kernel(self):
+        result = run_single_row_kernel(ath=64, total_acts=6000)
+        check(result, acts=0, danger=0, alerts=90,
+              elapsed=367880.0, total=6000)
+        assert result.details["baseline_ns"] == exact(348966.0, rel=0, abs=0)
+        assert result.details["throughput_loss"] == exact(
+            0.05141350440360992, rel=0, abs=0
+        )
+
+    def test_multi_row_kernel(self):
+        result = run_multi_row_kernel(rows=5, ath=64, total_acts=6000)
+        check(result, acts=0, danger=0, alerts=90,
+              elapsed=383650.0, total=6000)
+        assert result.details["baseline_ns"] == exact(348966.0, rel=0, abs=0)
+        assert result.details["throughput_loss"] == exact(
+            0.09040531734653967, rel=0, abs=0
+        )

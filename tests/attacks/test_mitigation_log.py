@@ -1,0 +1,108 @@
+"""Regression tests for mitigation-listener lifecycle (the stale-
+listener bug): a reused engine must not keep feeding logs or raw
+listeners attached by a previous attack."""
+
+from repro.attacks.base import AttackRunConfig, MitigationLog, build_channel, subscribed
+from repro.dram.refresh import CounterResetPolicy
+from repro.mitigations.moat import MoatPolicy
+from repro.sim.engine import SimConfig, SubchannelSim
+
+
+def small_channel(subchannels: int = 1):
+    run = AttackRunConfig(
+        rows_per_bank=1024, num_refresh_groups=128, subchannels=subchannels
+    )
+    return build_channel(
+        run,
+        lambda: MoatPolicy(ath=8, level=1),
+        reset_policy=CounterResetPolicy.SAFE,
+        trefi_per_mitigation=5,
+    )
+
+
+def hammer_until_mitigation(sim, row: int) -> None:
+    with MitigationLog(sim) as probe:
+        while not probe.was_mitigated(row):
+            sim.activate(row)
+
+
+class TestDetach:
+    def test_context_manager_detaches(self):
+        sim = small_channel()
+        with MitigationLog(sim) as log:
+            assert log.attached
+            hammer_until_mitigation(sim, 100)
+        assert not log.attached
+        events_after_first = len(log.events)
+        assert events_after_first > 0
+        # Second "attack" on the same engine: the detached log must not
+        # keep counting.
+        hammer_until_mitigation(sim, 200)
+        assert len(log.events) == events_after_first
+
+    def test_detach_is_idempotent(self):
+        sim = small_channel()
+        log = MitigationLog(sim)
+        log.detach()
+        log.detach()
+        assert not log.attached
+
+    def test_two_sequential_attacks_do_not_double_count(self):
+        """The original bug: two attacks sharing one engine each
+        attached a log; the first attack's listener survived into the
+        second run and double-counted every event."""
+        sim = small_channel()
+        with MitigationLog(sim) as first:
+            hammer_until_mitigation(sim, 100)
+        first_events = len(first.events)
+        with MitigationLog(sim) as second:
+            hammer_until_mitigation(sim, 200)
+        # The second log sees only the second attack's events...
+        assert all(row == 200 for _, row, _, _ in second.events)
+        # ...and the engine carries no stale listeners afterwards.
+        assert len(first.events) == first_events
+        assert all(not sub.mitigation_listeners for sub in sim.subchannels)
+
+    def test_works_on_bare_engine(self):
+        config = SimConfig(rows_per_bank=1024, num_refresh_groups=128,
+                           trefi_per_mitigation=5)
+        sim = SubchannelSim(config, lambda: MoatPolicy(ath=8, level=1))
+        with MitigationLog(sim) as log:
+            while not log.was_mitigated(100):
+                sim.activate(100)
+        assert not sim.mitigation_listeners
+
+    def test_subscribes_to_every_subchannel(self):
+        sim = small_channel(subchannels=2)
+        with MitigationLog(sim) as log:
+            assert all(len(sub.mitigation_listeners) == 1
+                       for sub in sim.subchannels)
+            while not log.was_mitigated(100):
+                sim.activate(100, subchannel=1)
+        assert all(not sub.mitigation_listeners for sub in sim.subchannels)
+
+
+class TestSubscribed:
+    def test_raw_listener_detaches_even_on_error(self):
+        sim = small_channel()
+        seen = []
+
+        def listener(bank, row, reactive, time):
+            seen.append(row)
+
+        try:
+            with subscribed(sim, listener):
+                raise RuntimeError("attack aborted")
+        except RuntimeError:
+            pass
+        assert all(not sub.mitigation_listeners for sub in sim.subchannels)
+
+    def test_raw_listener_receives_events_while_attached(self):
+        sim = small_channel()
+        seen = []
+        with subscribed(sim, lambda b, r, re, t: seen.append(r)):
+            hammer_until_mitigation(sim, 100)
+        assert 100 in seen
+        count_inside = len(seen)
+        hammer_until_mitigation(sim, 200)
+        assert len(seen) == count_inside

@@ -11,10 +11,10 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_attack_choices(self):
-        args = build_parser().parse_args(["attack", "jailbreak"])
+        args = build_parser().parse_args(["attack", "run", "jailbreak"])
         assert args.name == "jailbreak"
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["attack", "nonexistent"])
+            build_parser().parse_args(["attack", "run", "nonexistent"])
 
 
 class TestModelCommands:
@@ -44,20 +44,12 @@ class TestWorkloadsCommand:
 
 
 class TestAttackCommands:
+    # The full attack run/sweep/list surface is covered by
+    # tests/test_cli_attack.py; this keeps one end-to-end smoke here.
     def test_postponement(self, capsys):
-        assert main(["attack", "postponement"]) == 0
+        assert main(["attack", "run", "postponement"]) == 0
         out = capsys.readouterr().out
         assert "329" in out
-
-    def test_ratchet_small(self, capsys):
-        assert main(["attack", "ratchet", "--pool", "8"]) == 0
-        out = capsys.readouterr().out
-        assert "ACTs on attack row" in out
-
-    def test_feinting_small(self, capsys):
-        assert main(["attack", "feinting", "--periods", "32"]) == 0
-        out = capsys.readouterr().out
-        assert "feinting" in out
 
 
 class TestPerfCommand:
