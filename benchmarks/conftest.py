@@ -1,22 +1,27 @@
 """Shared infrastructure for the reproduction benchmarks.
 
-Each benchmark regenerates one table or figure of the paper, prints a
-paper-vs-measured comparison (bypassing pytest capture so it is visible
-in normal runs), and appends it to ``benchmarks/results/summary.txt``.
-Benchmarks that emit machine-readable metrics additionally merge them
-into ``benchmarks/results/summary.json`` (via the ``record_json``
-fixture), so the perf trajectory is diffable in CI alongside the
-``BENCH_sweep_*.json`` artifacts.
+Each benchmark regenerates one table or figure of the paper through the
+:mod:`repro.report` pipeline — the same figure registry, sweep/attack/
+model presets, and on-disk point caches the ``repro report`` CLI uses —
+prints the rendered paper-vs-measured table (bypassing pytest capture
+so it is visible in normal runs), and appends it to
+``benchmarks/results/summary.txt``. Benchmarks that emit
+machine-readable metrics additionally merge them into
+``benchmarks/results/summary.json`` (via the ``record_json`` fixture),
+so the perf trajectory is diffable in CI alongside the ``BENCH_*.json``
+artifacts.
+
+No benchmark drives the simulation engine directly: every simulated or
+derived number comes out of a cached ``BENCH`` artifact, so re-runs
+resume instead of recomputing and the harness, the CLI, and the CI
+baseline gates all share one code path. (The one deliberate exception
+is ``test_engine_hotpath.py``, which *measures* the engine itself —
+caching it would defeat the microbenchmark.)
 
 Scale: set ``REPRO_FAST=1`` to use a reduced workload subset and a half
 refresh window for the performance sweeps (about 4x faster, same
 qualitative results). ``REPRO_JOBS`` sets the sweep-runner worker count
 (default: CPU count).
-
-The grid-shaped benchmarks (Figure 11, Table 5) run on the
-:mod:`repro.sweep` runner and share its on-disk point cache (the
-repo-root ``.repro-cache/sweep``, same as the ``repro sweep`` CLI),
-so re-runs resume instead of recomputing.
 """
 
 from __future__ import annotations
@@ -24,26 +29,33 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import pytest
 
-from repro.sim.perf import MoatRunConfig, PerfResult, run_workload
+from repro.report.figures import FigureRow
+from repro.report.pipeline import (
+    FigureResult,
+    ReportOptions,
+    render_figure_text,
+)
+from repro.report.pipeline import run_figure as _run_figure
 from repro.sweep.artifacts import git_revision, utc_now
 from repro.sweep.runner import DEFAULT_CACHE_DIR, SweepResult, run_sweep
 from repro.sweep.spec import SWEEP_WORKLOADS as _SWEEP_WORKLOADS
 from repro.sweep.spec import SweepSpec
-from repro.workloads.generator import ActivationSchedule, generate_schedule
 from repro.workloads.profiles import TABLE4_PROFILES, WorkloadProfile
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-#: On-disk sweep point cache shared by the grid-shaped benchmarks —
-#: the same location `repro sweep` defaults to when run from the repo
-#: root, so CLI sweeps and benchmark runs reuse each other's points.
-#: Cache identity is the point config hash plus RESULT_VERSION (in
-#: repro/sweep/spec.py); bump that constant whenever simulator or
-#: generator semantics change, or stale points will be replayed.
+#: Root of the on-disk point caches shared with the ``repro`` CLI when
+#: run from the repo root (``.repro-cache/{sweep,attack,model}``).
+#: Cache identity is the point config hash plus the family's
+#: RESULT_VERSION constant; bump those whenever simulator, attack, or
+#: evaluator semantics change, or stale points will be replayed.
+CACHE_ROOT = pathlib.Path(__file__).parent.parent / ".repro-cache"
+
+#: Sweep-family cache (kept for the direct sweep-runner benchmarks).
 SWEEP_CACHE_DIR = pathlib.Path(__file__).parent.parent / DEFAULT_CACHE_DIR
 
 FAST = os.environ.get("REPRO_FAST", "") not in ("", "0")
@@ -116,24 +128,6 @@ def run_grid(spec: SweepSpec) -> SweepResult:
     return run_sweep(spec, jobs=N_JOBS, cache_dir=SWEEP_CACHE_DIR)
 
 
-class ScheduleCache:
-    """Per-session cache of generated workload schedules."""
-
-    def __init__(self) -> None:
-        self._cache: Dict[str, ActivationSchedule] = {}
-
-    def get(self, profile: WorkloadProfile, n_trefi: int = N_TREFI) -> ActivationSchedule:
-        key = f"{profile.name}:{n_trefi}"
-        if key not in self._cache:
-            self._cache[key] = generate_schedule(profile, n_trefi=n_trefi, seed=0)
-        return self._cache[key]
-
-
-@pytest.fixture(scope="session")
-def schedules() -> ScheduleCache:
-    return ScheduleCache()
-
-
 def sweep_profiles() -> List[WorkloadProfile]:
     chosen = SWEEP_WORKLOADS[:5] if FAST else SWEEP_WORKLOADS
     return [p for p in TABLE4_PROFILES if p.name in chosen]
@@ -145,13 +139,62 @@ def all_profiles() -> List[WorkloadProfile]:
     return list(TABLE4_PROFILES)
 
 
-def run_config(**kwargs) -> MoatRunConfig:
-    kwargs.setdefault("n_trefi", N_TREFI)
-    return MoatRunConfig(**kwargs)
+def report_options() -> ReportOptions:
+    """Figure-pipeline options at the harness scale.
+
+    REPRO_FAST restricts every sweep-family source to the hot-biased
+    workload subset (model ``workload-stats`` points follow suit); the
+    full run keeps each preset's own workload list (all 21 for the
+    figures, the 9-workload subset for the parameter tables).
+    """
+    workloads: Optional[tuple] = None
+    if FAST:
+        workloads = tuple(p.name for p in sweep_profiles())
+    return ReportOptions(
+        n_trefi=N_TREFI,
+        jobs=N_JOBS,
+        cache_root=CACHE_ROOT,
+        workloads=workloads,
+    )
 
 
-def run_one(
-    profile: WorkloadProfile, cache: ScheduleCache, **kwargs
-) -> PerfResult:
-    config = run_config(**kwargs)
-    return run_workload(profile, config, schedule=cache.get(profile, config.n_trefi))
+def run_figure(name: str) -> FigureResult:
+    """Run one registered paper figure at the harness scale."""
+    return _run_figure(name, report_options())
+
+
+def rows_by_label(result: FigureResult) -> Dict[str, FigureRow]:
+    """Index a figure's extracted rows by label for assertions."""
+    return {row.label: row for row in result.rows}
+
+
+def figure_text(result: FigureResult) -> str:
+    """Rendered paper-vs-measured table (the ``report`` payload)."""
+    return render_figure_text(result)
+
+
+def record_figure(record_json, result: FigureResult, key: str) -> None:
+    """Merge a figure's rows and source provenance into summary.json."""
+    record_json(
+        {
+            "max_abs_rel_delta": result.max_abs_rel_delta,
+            "sources": {
+                source: {
+                    "sweep_hash": artifact.get("sweep_hash"),
+                    "cache_hits": artifact.get("cache_hits"),
+                    "compute_time_s": artifact.get("compute_time_s"),
+                    "wall_clock_s": artifact.get("wall_clock_s"),
+                }
+                for source, artifact in result.artifacts.items()
+            },
+            "rows": {
+                row.label: {
+                    "paper": row.paper,
+                    "measured": row.measured,
+                    "rel_delta": row.rel_delta,
+                }
+                for row in result.rows
+            },
+        },
+        key=key,
+    )

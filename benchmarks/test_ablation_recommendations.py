@@ -2,25 +2,35 @@
 
 1. "Larger queues introduce vulnerability from insertion to
    mitigation, so shorter queues are preferred" — Jailbreak exposure
-   grows linearly with Panopticon's queue length.
+   grows linearly with Panopticon's queue length. Runs on the
+   ``ablation-queue`` attack preset (cached, baseline-gated like every
+   other attack grid; not a paper figure, so it lives outside the
+   figure registry).
 2. "ABO Mitigation Level 1 is preferred over Level 4" — level 1 both
    tolerates the highest T_RH per ATH (Figure 15) and has the lowest
-   worst-case slowdown (Appendix D).
+   worst-case slowdown (Appendix D). Pure closed-form models.
 """
 
+from benchmarks.conftest import CACHE_ROOT, N_JOBS
 from repro.analysis.ratchet_model import ratchet_safe_trh
 from repro.analysis.throughput import continuous_alert_slowdown
-from repro.attacks.jailbreak import run_deterministic_jailbreak
 from repro.report.tables import format_table
+from repro.sweep.attack_runner import run_attack_sweep
+from repro.sweep.attack_spec import attack_preset
 
 QUEUE_SIZES = [1, 2, 4, 8, 16]
 
 
 def test_ablation_queue_size(benchmark, report):
     def sweep():
+        result = run_attack_sweep(
+            attack_preset("ablation-queue"),
+            jobs=N_JOBS,
+            cache_dir=CACHE_ROOT / "attack",
+        )
         return {
-            q: run_deterministic_jailbreak(queue_entries=q).acts_on_attack_row
-            for q in QUEUE_SIZES
+            r.params["queue_entries"]: r.metrics["acts_on_attack_row"]
+            for r in result.results
         }
 
     exposures = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -3,59 +3,58 @@
 The analytical model reproduces the published curve (99 at ATH=64, 161
 at ATH=128); the simulated attack validates that concrete executions
 stay at-or-below the model while exceeding ATH.
+
+Pulls from the cached ``attack:fig10`` and ``model:fig15`` artifacts
+via the figure registry.
 """
 
-from benchmarks.conftest import FAST
-from repro.analysis.ratchet_model import RatchetModel, ratchet_safe_trh
-from repro.attacks.ratchet import run_ratchet
+from benchmarks.conftest import figure_text, run_figure
 from repro.report.paper_values import FIG10_SAFE_TRH
-from repro.report.tables import format_table
+from repro.sweep.model_spec import SAFE_TRH_ATH_SWEEP
 
-ATH_SWEEP = [16, 32, 48, 64, 80, 96, 112, 128]
+
+def _model_curve(result, level=1):
+    points = result.artifacts["model:fig15"]["points"].values()
+    return {
+        p["params"]["ath"]: p["metrics"]["safe_trh"]
+        for p in points
+        if p["params"]["level"] == level
+    }
+
+
+def _simulated(result):
+    points = result.artifacts["attack:fig10"]["points"].values()
+    return {
+        p["params"]["ath"]: p["metrics"]["acts_on_attack_row"]
+        for p in points
+        if p["kind"] == "ratchet" and p["params"].get("pool_size") == 64
+    }
 
 
 def test_fig10_model_curve(benchmark, report):
-    curve = benchmark.pedantic(
-        lambda: {ath: ratchet_safe_trh(ath, 1) for ath in ATH_SWEEP},
-        rounds=1,
-        iterations=1,
+    result = benchmark.pedantic(
+        lambda: run_figure("fig10"), rounds=1, iterations=1
     )
-    rows = [
-        (ath, FIG10_SAFE_TRH.get(ath, ""), curve[ath]) for ath in ATH_SWEEP
-    ]
-    report(
-        format_table(
-            ["ATH", "paper", "model max ACT"],
-            rows,
-            title="Figure 10 - Ratchet bound vs ATH (level 1)",
-        )
-    )
-    assert curve[64] == 99
-    assert curve[128] == 161
-    values = [curve[a] for a in ATH_SWEEP]
+    report(figure_text(result))
+    curve = _model_curve(result)
+    assert curve[64] == FIG10_SAFE_TRH[64] == 99
+    assert curve[128] == FIG10_SAFE_TRH[128] == 161
+    values = [curve[ath] for ath in SAFE_TRH_ATH_SWEEP]
     assert values == sorted(values)
 
 
 def test_fig10_simulated_points(benchmark, report):
-    pool = 64 if FAST else 256
-
-    def attack():
-        return {
-            ath: run_ratchet(ath=ath, pool_size=pool).acts_on_attack_row
-            for ath in (32, 64, 128)
-        }
-
-    measured = benchmark.pedantic(attack, rounds=1, iterations=1)
-    model = RatchetModel(level=1)
-    rows = [
-        (ath, model.safe_trh(ath), measured[ath]) for ath in (32, 64, 128)
-    ]
+    result = benchmark.pedantic(
+        lambda: run_figure("fig10"), rounds=1, iterations=1
+    )
+    curve = _model_curve(result)
+    measured = _simulated(result)
     report(
-        format_table(
-            ["ATH", "model bound", f"simulated (pool={pool})"],
-            rows,
-            title="Figure 10 - Simulated Ratchet vs model",
+        "Figure 10 - Simulated Ratchet vs model bound: "
+        + ", ".join(
+            f"ATH={ath}: {int(measured[ath])}<={int(curve[ath])}"
+            for ath in sorted(measured)
         )
     )
     for ath in (32, 64, 128):
-        assert ath + 4 <= measured[ath] <= model.safe_trh(ath) + 1
+        assert ath + 4 <= measured[ath] <= curve[ath] + 1

@@ -9,85 +9,38 @@ Absolute magnitudes depend on the temporal structure of the real SPEC/
 GAP traces (see DESIGN.md); the reproduced properties are the ordering
 of workloads, the near-zero cost at ATH=128, and the sub-1% scale.
 
-Runs on the ``repro.sweep`` parallel runner (the ``fig11`` preset at
-benchmark scale) — the same grid ``repro sweep fig11`` executes — so
-the figure, the CLI, and the CI baseline gate all share one code path
-and one result cache.
+Pulls from the cached ``sweep:fig11`` artifact via the figure registry
+— the same grid ``repro sweep fig11`` and ``repro report run fig11``
+execute — so the figure, the CLI, and the CI baseline gate all share
+one code path and one result cache.
 """
 
-from benchmarks.conftest import FAST, N_TREFI, all_profiles, run_grid
-from repro.report.paper_values import AVG_ALERTS_PER_TREFI_ATH64, AVG_SLOWDOWN
-from repro.report.tables import format_table
-from repro.sweep.spec import PRESETS
+from benchmarks.conftest import FAST, figure_text, record_figure, run_figure
 
 
 def test_fig11_performance_and_alert_rate(benchmark, report, record_json):
-    profiles = all_profiles()
-    spec = PRESETS["fig11"].with_overrides(
-        n_trefi=N_TREFI, workloads=tuple(p.name for p in profiles)
+    result = benchmark.pedantic(
+        lambda: run_figure("fig11"), rounds=1, iterations=1
     )
+    report(figure_text(result))
+    record_figure(record_json, result, key="fig11")
 
-    result = benchmark.pedantic(lambda: run_grid(spec), rounds=1, iterations=1)
+    points = list(result.artifacts["sweep:fig11"]["points"].values())
     table = {
-        ath: {r.workload: r.metrics for r in result.results if r.ath == ath}
+        ath: {p["workload"]: p["metrics"] for p in points if p["ath"] == ath}
         for ath in (64, 128)
     }
+    workloads = sorted(table[64])
+    assert workloads and sorted(table[128]) == workloads
 
-    rows = []
-    for p in profiles:
-        m64, m128 = table[64][p.name], table[128][p.name]
-        rows.append(
-            (
-                p.display_name,
-                f"{m64['normalized_performance']:.4f}",
-                f"{m128['normalized_performance']:.4f}",
-                f"{m64['alerts_per_trefi']:.3f}",
-                f"{m128['alerts_per_trefi']:.3f}",
-            )
-        )
-    avg64 = sum(table[64][p.name]["slowdown"] for p in profiles) / len(profiles)
-    avg128 = sum(table[128][p.name]["slowdown"] for p in profiles) / len(profiles)
-    rate64 = sum(table[64][p.name]["alerts_per_trefi"] for p in profiles) / len(profiles)
-    rate128 = sum(table[128][p.name]["alerts_per_trefi"] for p in profiles) / len(profiles)
-    rows.append(
-        (
-            "AVERAGE",
-            f"{1 - avg64:.4f}",
-            f"{1 - avg128:.4f}",
-            f"{rate64:.3f}",
-            f"{rate128:.3f}",
-        )
-    )
-    rows.append(
-        (
-            "paper AVERAGE",
-            f"{1 - AVG_SLOWDOWN[64]:.4f}",
-            f"{1 - AVG_SLOWDOWN[128]:.4f}",
-            f"{AVG_ALERTS_PER_TREFI_ATH64:.3f}",
-            "~0",
-        )
-    )
-    report(
-        format_table(
-            ["workload", "perf ATH64", "perf ATH128", "ALERT/tREFI ATH64", "ATH128"],
-            rows,
-            title="Figure 11 - MOAT performance and ALERT rate",
-        )
-    )
-    record_json(
-        {
-            "avg_slowdown_ath64": avg64,
-            "avg_slowdown_ath128": avg128,
-            "avg_alerts_per_trefi_ath64": rate64,
-            "avg_alerts_per_trefi_ath128": rate128,
-            "paper_avg_slowdown_ath64": AVG_SLOWDOWN[64],
-            "sweep_hash": spec.sweep_hash(),
-            "wall_clock_s": result.wall_clock_s,
-            "compute_time_s": result.compute_time_s,
-            "cache_hits": result.cache_hits,
-        },
-        key="fig11",
-    )
+    avg64 = sum(table[64][w]["slowdown"] for w in workloads) / len(workloads)
+    avg128 = sum(table[128][w]["slowdown"] for w in workloads) / len(workloads)
+    rate64 = sum(
+        table[64][w]["alerts_per_trefi"] for w in workloads
+    ) / len(workloads)
+    rate128 = sum(
+        table[128][w]["alerts_per_trefi"] for w in workloads
+    ) / len(workloads)
 
     # Shape assertions (see module docstring). REPRO_FAST keeps only
     # the hot-biased workload subset, so its average sits higher than
@@ -98,7 +51,11 @@ def test_fig11_performance_and_alert_rate(benchmark, report, record_json):
     assert avg128 < 0.001
     # Alert activity concentrates in the hot workloads.
     hot = {"roms", "parest", "xz", "lbm"}
-    hot_rate = sum(table[64][n]["alerts_per_trefi"] for n in hot if n in table[64])
+    hot_rate = sum(
+        table[64][w]["alerts_per_trefi"] for w in hot if w in table[64]
+    )
     quiet = {"tc", "x264", "wrf"}
-    quiet_rate = sum(table[64][n]["alerts_per_trefi"] for n in quiet if n in table[64])
+    quiet_rate = sum(
+        table[64][w]["alerts_per_trefi"] for w in quiet if w in table[64]
+    )
     assert hot_rate >= quiet_rate

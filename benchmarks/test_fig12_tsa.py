@@ -3,43 +3,32 @@
 Staggering banks' ALERT chains ensures every ALERT mitigates exactly
 one row, turning the ALERT stall into a dense torrent: the paper's unit
 model gives 24% loss at 4 banks and 52% at the tFAW-limited 17 banks.
+
+Pulls from the cached ``attack:fig12`` artifact via the figure
+registry.
 """
 
-from benchmarks.conftest import FAST
-from repro.attacks.tsa import run_tsa
+from benchmarks.conftest import figure_text, run_figure
 from repro.report.paper_values import TSA_LOSS
-from repro.report.tables import format_table
 
 BANKS = [1, 4, 8, 17]
 
 
 def test_fig12_tsa(benchmark, report):
-    cycles = 2 if FAST else 3
-
-    def sweep():
-        return {b: run_tsa(num_banks=b, cycles=cycles) for b in BANKS}
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    rows = [
-        (
-            b,
-            f"{TSA_LOSS[b] * 100:.0f}%" if b in TSA_LOSS else "",
-            f"{results[b].details['throughput_loss'] * 100:.1f}%",
-            results[b].alerts,
-        )
-        for b in BANKS
-    ]
-    report(
-        format_table(
-            ["banks", "paper loss", "measured loss", "ALERTs"],
-            rows,
-            title="Figure 12 - TSA attack",
-        )
+    result = benchmark.pedantic(
+        lambda: run_figure("fig12"), rounds=1, iterations=1
     )
-    losses = [results[b].details["throughput_loss"] for b in BANKS]
+    report(figure_text(result))
+    points = result.artifacts["attack:fig12"]["points"].values()
+    losses = {
+        p["params"]["num_banks"]: p["metrics"]["detail:throughput_loss"]
+        for p in points
+    }
+    assert sorted(losses) == BANKS
     # Loss grows with the number of staggered banks...
-    assert losses == sorted(losses)
+    ordered = [losses[b] for b in BANKS]
+    assert ordered == sorted(ordered)
     # ...lands near the paper's 24% at 4 banks...
-    assert abs(results[4].details["throughput_loss"] - TSA_LOSS[4]) < 0.10
+    assert abs(losses[4] - TSA_LOSS[4]) < 0.10
     # ...and stays below the continuous-ALERT ceiling (Section 7.1).
-    assert losses[-1] < 0.64
+    assert ordered[-1] < 0.64

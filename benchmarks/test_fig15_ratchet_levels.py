@@ -1,44 +1,32 @@
-"""Figure 15: Safe T_RH under the Ratchet attack for ABO levels 1/2/4."""
+"""Figure 15: Safe T_RH under the Ratchet attack for ABO levels 1/2/4.
 
-from repro.analysis.ratchet_model import ratchet_sweep
-from repro.report.paper_values import TABLE7_ATH_LEVEL
-from repro.report.tables import format_table
+Pulls from the cached ``model:fig15`` artifact via the figure registry
+(the same safe-TRH grid that backs Figure 10 and Table 7's TRH column).
+"""
 
-ATH_SWEEP = [16, 32, 48, 64, 80, 96, 112, 128]
+from benchmarks.conftest import figure_text, run_figure
+from repro.report.paper_values import TABLE7_SAFE_TRH
+from repro.sweep.model_spec import SAFE_TRH_ATH_SWEEP
 
 
 def test_fig15_levels(benchmark, report):
-    sweep = benchmark.pedantic(
-        lambda: ratchet_sweep(ath_values=ATH_SWEEP, levels=[1, 2, 4]),
-        rounds=1,
-        iterations=1,
+    result = benchmark.pedantic(
+        lambda: run_figure("fig15"), rounds=1, iterations=1
     )
-    rows = []
-    for ath in ATH_SWEEP:
-        paper = {
-            level: TABLE7_ATH_LEVEL.get((ath, level), ("", ""))[1]
-            for level in (1, 2, 4)
-        }
-        rows.append(
-            (
-                ath,
-                sweep[1][ath],
-                paper[1],
-                sweep[2][ath],
-                paper[2],
-                sweep[4][ath],
-                paper[4],
-            )
-        )
-    report(
-        format_table(
-            ["ATH", "L1", "paper", "L2", "paper", "L4", "paper"],
-            rows,
-            title="Figure 15 - Safe T_RH under Ratchet per ABO level",
-        )
-    )
+    report(figure_text(result))
+    points = result.artifacts["model:fig15"]["points"].values()
+    sweep = {}
+    for point in points:
+        params = point["params"]
+        sweep.setdefault(params["level"], {})[params["ath"]] = point[
+            "metrics"
+        ]["safe_trh"]
+
     # Level 1 tolerates the highest threshold at any ATH (fewer
     # inter-ALERT activations to exploit) — the paper's recommendation.
-    for ath in ATH_SWEEP:
+    for ath in SAFE_TRH_ATH_SWEEP:
         assert sweep[1][ath] >= sweep[2][ath] >= sweep[4][ath]
     assert sweep[1][64] == 99
+    # Every published Table 7 TRH cell is reproduced within one ACT.
+    for (ath, level), paper in TABLE7_SAFE_TRH.items():
+        assert abs(sweep[level][ath] - paper) <= 1

@@ -1,47 +1,42 @@
-"""Figure 16 / Appendix B: refresh postponement vs drain-all Panopticon."""
+"""Figure 16 / Appendix B: refresh postponement vs drain-all Panopticon.
 
-from repro.attacks.postponement import run_postponement_attack
+Pulls from the cached ``attack:fig16`` artifact via the figure
+registry (thresholds 64/128/256 in one attack preset).
+"""
+
+from benchmarks.conftest import figure_text, run_figure
 from repro.report.paper_values import (
     POSTPONEMENT_ACTS,
     POSTPONEMENT_ACTS_BETWEEN_BATCHES,
 )
-from repro.report.tables import format_table
+
+
+def _acts_by_threshold(result):
+    points = result.artifacts["attack:fig16"]["points"].values()
+    return {
+        p["params"]["threshold"]: p["metrics"]["acts_on_attack_row"]
+        for p in points
+    }
 
 
 def test_fig16_postponement(benchmark, report):
-    result = benchmark.pedantic(run_postponement_attack, rounds=1, iterations=1)
-    rows = [
-        ("ACTs on attack row", POSTPONEMENT_ACTS, result.acts_on_attack_row),
-        ("x queueing threshold", 2.6, round(result.acts_on_attack_row / 128, 1)),
-        ("ACT window between batches", POSTPONEMENT_ACTS_BETWEEN_BATCHES,
-         result.acts_on_attack_row - 128),
-    ]
-    report(
-        format_table(
-            ["metric", "paper", "measured"],
-            rows,
-            title="Figure 16 - Refresh postponement vs drain-all Panopticon",
-        )
+    result = benchmark.pedantic(
+        lambda: run_figure("fig16"), rounds=1, iterations=1
     )
-    assert abs(result.acts_on_attack_row - POSTPONEMENT_ACTS) <= 5
+    report(figure_text(result))
+    acts = _acts_by_threshold(result)
+    assert abs(acts[128] - POSTPONEMENT_ACTS) <= 5
 
 
 def test_fig16_scaling_with_threshold(benchmark, report):
-    results = benchmark.pedantic(
-        lambda: {t: run_postponement_attack(threshold=t) for t in (64, 128, 256)},
-        rounds=1,
-        iterations=1,
+    result = benchmark.pedantic(
+        lambda: run_figure("fig16"), rounds=1, iterations=1
     )
-    rows = [
-        (t, t + POSTPONEMENT_ACTS_BETWEEN_BATCHES, results[t].acts_on_attack_row)
-        for t in (64, 128, 256)
-    ]
+    acts = _acts_by_threshold(result)
     report(
-        format_table(
-            ["queue threshold", "expected (thr + 201)", "measured"],
-            rows,
-            title="Figure 16 - Postponement attack vs threshold",
-        )
+        "Figure 16 - Postponement vs threshold: "
+        + ", ".join(f"thr {t}: {int(acts[t])}" for t in sorted(acts))
     )
-    for t in (64, 128, 256):
-        assert abs(results[t].acts_on_attack_row - (t + 201)) <= 5
+    for threshold in (64, 128, 256):
+        expected = threshold + POSTPONEMENT_ACTS_BETWEEN_BATCHES
+        assert abs(acts[threshold] - expected) <= 5

@@ -3,53 +3,50 @@
 Higher ABO levels stall longer per ALERT (more RFMs) but mitigate more
 rows per ALERT, so they trade slightly higher slowdown for a lower
 ALERT count.
+
+Pulls from the cached ``sweep:fig17`` artifact via the figure registry
+— the same grid ``repro sweep fig17`` and ``repro report run fig17``
+execute — so the benchmark, the CLI, and the CI baseline gate share one
+code path and one result cache.
 """
 
-from benchmarks.conftest import all_profiles, run_one
-from repro.report.paper_values import FIG17_SLOWDOWN
-from repro.report.tables import format_table
+from benchmarks.conftest import FAST, figure_text, record_figure, run_figure
 
 LEVELS = [1, 2, 4]
 
 
-def test_fig17_moat_levels(benchmark, report, schedules):
-    profiles = all_profiles()
-
-    def sweep():
-        return {
-            level: {p.name: run_one(p, schedules, ath=64, abo_level=level) for p in profiles}
-            for level in LEVELS
-        }
-
-    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    rows = []
-    for level in LEVELS:
-        results = table[level].values()
-        slowdown = sum(r.slowdown for r in results) / len(profiles)
-        rate = sum(r.alerts_per_trefi for r in results) / len(profiles)
-        rows.append(
-            (
-                f"MOAT-L{level}",
-                f"{FIG17_SLOWDOWN[level] * 100:.2f}%",
-                f"{slowdown * 100:.3f}%",
-                f"{rate:.4f}",
-            )
-        )
-    report(
-        format_table(
-            ["design", "paper slowdown", "measured", "ALERT/tREFI"],
-            rows,
-            title="Figure 17 - MOAT at ABO levels 1/2/4 (ATH=64)",
-        )
+def test_fig17_moat_levels(benchmark, report, record_json):
+    result = benchmark.pedantic(
+        lambda: run_figure("fig17"), rounds=1, iterations=1
     )
+    report(figure_text(result))
+    record_figure(record_json, result, key="fig17")
+
+    points = list(result.artifacts["sweep:fig17"]["points"].values())
+    by_level = {
+        level: [p["metrics"] for p in points if p["abo_level"] == level]
+        for level in LEVELS
+    }
+    for level in LEVELS:
+        assert by_level[level], f"no points at level {level}"
+
     # Shape: ALERT episodes do not grow with level (each services more
-    # rows; 15% slack absorbs fixed-point noise), and all levels stay
-    # well under 1% average slowdown.
+    # rows; 15% slack absorbs fixed-point noise)...
     rate = {
-        level: sum(r.alerts_per_trefi for r in table[level].values())
+        level: sum(m["alerts_per_trefi"] for m in by_level[level])
         for level in LEVELS
     }
     assert rate[4] <= rate[1] * 1.15 + 0.01
+    # ...and the average slowdown stays small at every level. The full
+    # 21-workload figure sits well under 1% (paper: 0.28-0.45%).
+    # REPRO_FAST keeps only the hot-biased workload subset — the quiet
+    # majority that pulls the figure's average down is dropped — and
+    # higher ABO levels amplify exactly those hot workloads' ALERT
+    # stalls (L4 averages ~2.7% on the subset), so the FAST bound gets
+    # a 4x scale allowance where Figure 11 (level 1 only) needs 2x.
+    bound = 0.04 if FAST else 0.01
     for level in LEVELS:
-        avg_slow = sum(r.slowdown for r in table[level].values()) / len(profiles)
-        assert avg_slow < 0.01
+        avg_slow = sum(m["slowdown"] for m in by_level[level]) / len(
+            by_level[level]
+        )
+        assert avg_slow < bound

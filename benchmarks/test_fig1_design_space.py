@@ -9,69 +9,31 @@ axes. With every design implemented, we can measure both coordinates:
   kilobytes per bank at T_RH=99.
 * Panopticon (PRAC + queue): cheap, broken by Jailbreak (9x).
 * MOAT (PRAC + single entry + ABO): cheap and secure (bounded at 99).
+
+Pulls from the cached ``attack:fig1`` and ``model:fig1-sram`` artifacts
+via the figure registry.
 """
 
-from repro.analysis.ratchet_model import ratchet_safe_trh
-from repro.attacks.jailbreak import run_deterministic_jailbreak
-from repro.attacks.ratchet import run_ratchet
-from repro.attacks.trespass import run_many_aggressor_attack
-from repro.mitigations.graphene import graphene_sram_bytes
-from repro.mitigations.moat import MoatPolicy
-from repro.mitigations.panopticon import PanopticonPolicy
-from repro.mitigations.trr import TrrTracker
-from repro.report.tables import format_table
-
-TARGET_TRH = 99
+from benchmarks.conftest import figure_text, rows_by_label, run_figure
+from repro.report.paper_values import FIG1_TARGET_TRH
 
 
 def test_fig1_design_space(benchmark, report):
-    def measure():
-        trr_exposure = run_many_aggressor_attack(
-            num_aggressors=32, tracker_entries=16, acts_per_aggressor=600
-        ).max_danger
-        panopticon_exposure = run_deterministic_jailbreak().acts_on_attack_row
-        moat_exposure = run_ratchet(ath=64, pool_size=64).acts_on_attack_row
-        return trr_exposure, panopticon_exposure, moat_exposure
+    result = benchmark.pedantic(
+        lambda: run_figure("fig1"), rounds=1, iterations=1
+    )
+    report(figure_text(result))
+    rows = rows_by_label(result)
 
-    trr_exposure, pan_exposure, moat_exposure = benchmark.pedantic(
-        measure, rounds=1, iterations=1
-    )
-    rows = [
-        (
-            "TRR-style (16 entries)",
-            f"{TrrTracker(entries=16).sram_bytes()} B",
-            f"{trr_exposure} (unbounded)",
-            "NO",
-        ),
-        (
-            "Graphene-sized (optimal SRAM)",
-            f"{graphene_sram_bytes(TARGET_TRH):,} B",
-            f"<= {TARGET_TRH} by construction",
-            "yes (impractical)",
-        ),
-        (
-            "Panopticon (PRAC + 8-queue)",
-            f"{PanopticonPolicy().sram_bytes()} B",
-            f"{pan_exposure} (Jailbreak)",
-            "NO",
-        ),
-        (
-            "MOAT (PRAC + ABO, ATH=64)",
-            f"{MoatPolicy().sram_bytes()} B",
-            f"{moat_exposure} <= {ratchet_safe_trh(64, 1)}",
-            "YES",
-        ),
-    ]
-    report(
-        format_table(
-            ["design", "SRAM/bank", "worst exposure @ TRH~99", "secure?"],
-            rows,
-            title="Figure 1(a) - In-DRAM tracker design space",
-        )
-    )
+    trr_exposure = rows["TRR-16 worst exposure"].measured
+    pan_exposure = rows["Panopticon Jailbreak exposure"].measured
+    moat_exposure = rows["MOAT Ratchet exposure"].measured
+    moat_sram = rows["MOAT SRAM (B/bank)"].measured
+    graphene_sram = rows["Graphene-sized SRAM (B/bank)"].measured
+
     # The quadrant claims: only MOAT is simultaneously cheap and secure.
-    assert trr_exposure > TARGET_TRH
-    assert pan_exposure > TARGET_TRH
-    assert moat_exposure <= ratchet_safe_trh(64, 1)
-    assert MoatPolicy().sram_bytes() < 10
-    assert graphene_sram_bytes(TARGET_TRH) > 1_000 * MoatPolicy().sram_bytes()
+    assert trr_exposure > FIG1_TARGET_TRH
+    assert pan_exposure > FIG1_TARGET_TRH
+    assert moat_exposure <= FIG1_TARGET_TRH
+    assert moat_sram < 10
+    assert graphene_sram > 1_000 * moat_sram

@@ -4,62 +4,64 @@ The deterministic Jailbreak reaches ~9x the queueing threshold in one
 shot; the randomized variant gets there probabilistically, improving
 with the number of iterations (success probability 2^-16 per
 iteration).
+
+Pulls from the cached ``attack:fig5`` and ``model:fig5-curve``
+artifacts via the figure registry: the deterministic attacks and the
+fully-simulated all-heavy iteration live in the attack preset, the
+sampled iteration curve in the model preset.
 """
 
-from benchmarks.conftest import FAST
-from repro.attacks.jailbreak import (
-    randomized_jailbreak_curve,
-    run_deterministic_jailbreak,
-    run_randomized_jailbreak_iteration,
-)
-from repro.report.paper_values import (
-    JAILBREAK_DETERMINISTIC_ACTS,
-    JAILBREAK_QUEUE_THRESHOLD,
-    JAILBREAK_RANDOMIZED_ACTS,
-)
-from repro.report.tables import format_table
+from benchmarks.conftest import figure_text, rows_by_label, run_figure
+from repro.report.paper_values import JAILBREAK_QUEUE_THRESHOLD
 
-ITERATIONS = [2**k for k in range(2, 21, 3)]
+
+def _curve(result):
+    points = result.artifacts["model:fig5-curve"]["points"].values()
+    return {
+        p["params"]["iterations"]: p["metrics"]["best_acts"] for p in points
+    }
 
 
 def test_fig5_deterministic(benchmark, report):
-    result = benchmark.pedantic(run_deterministic_jailbreak, rounds=1, iterations=1)
-    rows = [
-        ("ACTs on attack row", JAILBREAK_DETERMINISTIC_ACTS, result.acts_on_attack_row),
-        ("x queueing threshold", 9.0, round(result.acts_on_attack_row / 128, 1)),
-        ("ALERTs triggered", 0, result.alerts),
-    ]
-    report(format_table(["metric", "paper", "measured"], rows, title="Figure 5 - Deterministic Jailbreak"))
-    assert result.acts_on_attack_row >= 8.5 * JAILBREAK_QUEUE_THRESHOLD
-    assert result.alerts == 0
+    result = benchmark.pedantic(
+        lambda: run_figure("fig5"), rounds=1, iterations=1
+    )
+    report(figure_text(result))
+    rows = rows_by_label(result)
+    assert (
+        rows["deterministic ACTs on attack row"].measured
+        >= 8.5 * JAILBREAK_QUEUE_THRESHOLD
+    )
+    assert rows["deterministic ALERTs"].measured == 0
 
 
 def test_fig5_randomized_curve(benchmark, report):
-    curve = benchmark.pedantic(
-        lambda: randomized_jailbreak_curve(ITERATIONS, seed=0), rounds=1, iterations=1
+    result = benchmark.pedantic(
+        lambda: run_figure("fig5"), rounds=1, iterations=1
     )
-    rows = [(f"2^{n.bit_length() - 1}", "", curve[n]) for n in ITERATIONS]
-    rows.append(("paper best (~5 min)", JAILBREAK_RANDOMIZED_ACTS, max(curve.values())))
+    curve = _curve(result)
     report(
-        format_table(
-            ["iterations", "paper", "best ACTs on attack row"],
-            rows,
-            title="Figure 5 - Randomized Jailbreak (sampled curve)",
-        )
+        "Figure 5 - Randomized Jailbreak curve: "
+        + ", ".join(f"2^{n.bit_length() - 1}: {int(v)}"
+                    for n, v in sorted(curve.items()))
     )
     assert max(curve.values()) >= 8 * JAILBREAK_QUEUE_THRESHOLD
+    # More iterations can only improve the best-so-far (one shared RNG
+    # stream prefix across the preset's points).
+    budgets = sorted(curve)
+    assert all(
+        curve[a] <= curve[b] for a, b in zip(budgets, budgets[1:])
+    )
 
 
 def test_fig5_randomized_iteration_validates_model(benchmark, report):
     """Full-simulator spot check of the sampled curve's physics: a
     fully-heavy iteration lands in the same range as the model."""
     result = benchmark.pedantic(
-        lambda: run_randomized_jailbreak_iteration(
-            initial_counters=[112] * 8, attack_row_counter=96
-        ),
-        rounds=1,
-        iterations=1,
+        lambda: run_figure("fig5"), rounds=1, iterations=1
     )
-    rows = [("all-heavy iteration ACTs", "~1024-1152", result.acts_on_attack_row)]
-    report(format_table(["metric", "expected", "measured"], rows, title="Figure 5 - iteration validation"))
-    assert result.acts_on_attack_row >= 6.5 * JAILBREAK_QUEUE_THRESHOLD
+    rows = rows_by_label(result)
+    measured = rows["all-heavy iteration ACTs (simulated)"].measured
+    report(f"Figure 5 - all-heavy iteration ACTs: {measured:.0f} "
+           "(expected ~1024-1152 range)")
+    assert measured >= 6.5 * JAILBREAK_QUEUE_THRESHOLD

@@ -1,21 +1,21 @@
-"""Figure 8: minimum activations between consecutive ALERTs."""
+"""Figure 8: minimum activations between consecutive ALERTs.
 
-from repro.abo.protocol import AboConfig
+Pulls from the cached ``model:fig8`` artifact via the figure registry.
+"""
+
+from benchmarks.conftest import figure_text, run_figure
 from repro.report.paper_values import FIG8_MIN_ACTS
-from repro.report.tables import paper_vs_measured
 
 
 def test_fig8_min_acts(benchmark, report):
-    configs = benchmark.pedantic(
-        lambda: {level: AboConfig(level=level) for level in (1, 2, 4)},
-        rounds=1,
-        iterations=1,
+    result = benchmark.pedantic(
+        lambda: run_figure("fig8"), rounds=1, iterations=1
     )
-    rows = [
-        (f"ABO level {level}", FIG8_MIN_ACTS[level], configs[level].min_acts_between_alerts)
-        for level in (1, 2, 4)
-    ]
-    report(paper_vs_measured("Figure 8 - Min ACTs between ALERTs", "configuration", rows))
-    for level in (1, 2, 4):
-        assert configs[level].min_acts_between_alerts == FIG8_MIN_ACTS[level]
-        assert configs[level].pre_rfm_acts == 3
+    report(figure_text(result))
+    for row in result.rows:
+        assert row.measured == row.paper
+    points = result.artifacts["model:fig8"]["points"].values()
+    for point in points:
+        level = point["params"]["level"]
+        assert point["metrics"]["min_acts_between_alerts"] == FIG8_MIN_ACTS[level]
+        assert point["metrics"]["pre_rfm_acts"] == 3

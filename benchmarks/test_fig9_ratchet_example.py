@@ -5,29 +5,23 @@ executes the same scenario (footnote 1's misconfigured MR71 case:
 single-entry tracker, 7 permitted ACTs per ALERT) with exact DDR5
 timing, landing in the same regime (well above ATH, bounded by the
 Appendix A model for this pool size).
+
+Pulls from the cached ``attack:fig9`` artifact via the figure registry.
 """
 
-from repro.attacks.ratchet import run_ratchet
+from benchmarks.conftest import figure_text, rows_by_label, run_figure
 from repro.report.paper_values import FIG9_EXTRA_ACTS
-from repro.report.tables import format_table
-
-ATH = 64
 
 
 def test_fig9_ratchet_four_rows(benchmark, report):
     result = benchmark.pedantic(
-        lambda: run_ratchet(ath=ATH, pool_size=4, abo_level=4, tracker_level=1),
-        rounds=1,
-        iterations=1,
+        lambda: run_figure("fig9"), rounds=1, iterations=1
     )
-    extra = result.acts_on_attack_row - ATH
-    rows = [
-        ("ACTs beyond ATH on last row", f"+{FIG9_EXTRA_ACTS} (idealized)", f"+{extra}"),
-        ("total on last row", ATH + FIG9_EXTRA_ACTS, result.acts_on_attack_row),
-        ("ALERTs in chain", 4, result.alerts),
-    ]
-    report(format_table(["metric", "paper", "measured"], rows, title="Figure 9 - Ratchet on 4 rows (level 4)"))
+    report(figure_text(result))
+    rows = rows_by_label(result)
+    extra = rows["ACTs beyond ATH on last row"].measured
     # The attack must beat ATH by at least the final inter-ALERT burst.
     assert extra >= 7
     # ...and stay within the same regime as the figure's +15.
     assert extra <= 2 * FIG9_EXTRA_ACTS
+    assert rows["ALERTs in chain"].measured == 4

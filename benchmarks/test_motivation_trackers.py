@@ -3,34 +3,24 @@
 Not a numbered figure, but the premise of the paper: a TRRespass-style
 many-aggressor pattern blinds a Misra-Gries tracker completely, while
 the same tracker easily handles fewer aggressors than entries.
+
+Pulls from the cached ``attack:motivation`` artifact via the figure
+registry.
 """
 
-from repro.attacks.trespass import run_many_aggressor_attack
-from repro.report.tables import format_table
+from benchmarks.conftest import figure_text, rows_by_label, run_figure
+from repro.report.paper_values import MOTIVATION_TRACKER_ENTRIES
+
+ENTRIES = MOTIVATION_TRACKER_ENTRIES
 
 
 def test_many_aggressor_thrashing(benchmark, report):
-    def attack():
-        return (
-            run_many_aggressor_attack(
-                num_aggressors=32, tracker_entries=16, acts_per_aggressor=600
-            ),
-            run_many_aggressor_attack(
-                num_aggressors=4, tracker_entries=16, acts_per_aggressor=600
-            ),
-        )
-
-    blinded, caught = benchmark.pedantic(attack, rounds=1, iterations=1)
-    rows = [
-        ("32 aggressors vs 16 entries", "unbounded", blinded.max_danger),
-        ("4 aggressors vs 16 entries", "bounded", caught.max_danger),
-    ]
-    report(
-        format_table(
-            ["pattern", "paper expectation", "max victim exposure"],
-            rows,
-            title="Section 2.4 - Low-cost tracker motivation",
-        )
+    result = benchmark.pedantic(
+        lambda: run_figure("motivation"), rounds=1, iterations=1
     )
-    assert blinded.max_danger >= 590  # tracker never mitigates
-    assert caught.max_danger < blinded.max_danger
+    report(figure_text(result))
+    rows = rows_by_label(result)
+    blinded = rows[f"exposure: 32 aggressors vs {ENTRIES} entries"].measured
+    caught = rows[f"exposure: 4 aggressors vs {ENTRIES} entries"].measured
+    assert blinded >= 590  # tracker never mitigates
+    assert caught < blinded

@@ -1,76 +1,43 @@
-"""Section 6.5 / Appendix D: storage and energy overheads of MOAT."""
+"""Section 6.5 / Appendix D: storage and energy overheads of MOAT.
 
-from benchmarks.conftest import run_one, sweep_profiles
-from repro.analysis.energy import (
-    activation_energy_overhead,
-    moat_sram_bytes,
-    moat_sram_bytes_per_chip,
-)
-from repro.mitigations.moat import MoatPolicy
+Pulls from the cached ``model:sec65-storage`` (SRAM budget) and
+``sweep:sec65`` (activation overhead at ATH=64) artifacts via the
+figure registry.
+"""
+
+from benchmarks.conftest import figure_text, rows_by_label, run_figure
 from repro.report.paper_values import (
-    MOAT_ACTIVATION_OVERHEAD_ATH64,
-    MOAT_ENERGY_OVERHEAD_BOUND,
     MOAT_SRAM_BYTES_PER_BANK,
     MOAT_SRAM_BYTES_PER_CHIP,
 )
-from repro.report.tables import format_table
 
 
 def test_sec65_storage(benchmark, report):
-    values = benchmark.pedantic(
-        lambda: {
-            level: (
-                moat_sram_bytes(level),
-                moat_sram_bytes_per_chip(level),
-                MoatPolicy(level=level).sram_bytes(),
-            )
-            for level in (1, 2, 4)
-        },
-        rounds=1,
-        iterations=1,
+    result = benchmark.pedantic(
+        lambda: run_figure("sec65"), rounds=1, iterations=1
     )
-    rows = [
-        (
-            f"MOAT-L{level}",
-            MOAT_SRAM_BYTES_PER_BANK[level],
-            values[level][0],
-            MOAT_SRAM_BYTES_PER_CHIP[level],
-            values[level][1],
-        )
-        for level in (1, 2, 4)
-    ]
-    report(
-        format_table(
-            ["design", "paper B/bank", "measured", "paper B/chip", "measured"],
-            rows,
-            title="Section 6.5 / Appendix D - SRAM overhead",
-        )
-    )
+    report(figure_text(result))
+    rows = rows_by_label(result)
     for level in (1, 2, 4):
-        assert values[level][0] == MOAT_SRAM_BYTES_PER_BANK[level]
-        assert values[level][2] == MOAT_SRAM_BYTES_PER_BANK[level]
-        assert values[level][1] == MOAT_SRAM_BYTES_PER_CHIP[level]
+        per_bank = rows[f"MOAT-L{level} SRAM (B/bank)"].measured
+        per_chip = rows[f"MOAT-L{level} SRAM (B/chip)"].measured
+        assert per_bank == MOAT_SRAM_BYTES_PER_BANK[level]
+        assert per_chip == MOAT_SRAM_BYTES_PER_CHIP[level]
 
 
-def test_sec65_energy(benchmark, report, schedules):
-    profiles = sweep_profiles()
-
-    def measure():
-        overheads = []
-        for p in profiles:
-            result = run_one(p, schedules, ath=64)
-            overheads.append(result.activation_overhead)
-        return sum(overheads) / len(overheads)
-
-    overhead = benchmark.pedantic(measure, rounds=1, iterations=1)
-    energy = activation_energy_overhead(1000, int(1000 * overhead))
-    rows = [
-        ("extra activations", f"{MOAT_ACTIVATION_OVERHEAD_ATH64:.1%}", f"{overhead:.2%}"),
-        ("total DRAM energy bound", f"<{MOAT_ENERGY_OVERHEAD_BOUND:.1%}",
-         f"{energy.total_energy_overhead:.3%}"),
-    ]
-    report(format_table(["quantity", "paper", "measured"], rows, title="Section 6.5 - Energy overhead (ATH=64)"))
+def test_sec65_energy(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_figure("sec65"), rounds=1, iterations=1
+    )
+    rows = rows_by_label(result)
+    overhead = rows["activation overhead @ ATH=64"].measured
+    energy = rows["total DRAM energy overhead"].measured
+    report(
+        f"Section 6.5 - energy: activation overhead {overhead:.2%}, "
+        f"total energy overhead {energy:.3%}"
+    )
     # Mitigation activations stay a small fraction of demand traffic,
-    # and the derived energy impact stays under the paper's 0.5% bound.
+    # and the derived energy impact stays under the paper's 0.5% bound
+    # scale regime.
     assert overhead < 0.10
-    assert energy.total_energy_overhead < 0.02
+    assert energy < 0.02

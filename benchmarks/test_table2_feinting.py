@@ -3,53 +3,60 @@
 Reproduces both the analytical bound (n * H(M)) and the simulated
 feinting attack against the idealized per-row tracker for every
 mitigation rate the paper sweeps.
+
+Pulls from the cached ``attack:table2`` (simulation, 512-period prefix)
+and ``model:table2-bound`` (closed form) artifacts via the figure
+registry.
 """
 
 import pytest
 
-from repro.analysis.feinting_model import PAPER_TABLE2, feinting_bound
-from repro.attacks.feinting import run_feinting
-from repro.report.tables import paper_vs_measured
+from benchmarks.conftest import figure_text, run_figure
+from repro.report.paper_values import TABLE2_FEINTING
 
 RATES = [1, 2, 3, 4, 5]
 
 
+def _bounds(result, periods=None):
+    points = result.artifacts["model:table2-bound"]["points"].values()
+    return {
+        p["params"]["trefi_per_mitigation"]: p["metrics"]["bound"]
+        for p in points
+        if p["params"].get("periods") == periods
+    }
+
+
 def test_table2_analytical(benchmark, report):
-    bounds = benchmark.pedantic(
-        lambda: {k: feinting_bound(k) for k in RATES}, rounds=1, iterations=1
+    result = benchmark.pedantic(
+        lambda: run_figure("table2"), rounds=1, iterations=1
     )
-    rows = [
-        (f"1 aggressor per {k} tREFI", PAPER_TABLE2[k], round(bounds[k]))
-        for k in RATES
-    ]
-    report(paper_vs_measured("Table 2 - Feinting bound (analytical)", "mitigation rate", rows))
-    for k in RATES:
-        assert bounds[k] == pytest.approx(PAPER_TABLE2[k], rel=0.01)
+    report(figure_text(result))
+    bounds = _bounds(result)
+    for rate in RATES:
+        assert bounds[rate] == pytest.approx(TABLE2_FEINTING[rate], rel=0.01)
 
 
 def test_table2_simulated(benchmark, report):
-    def attack_all():
-        # 512 periods per rate: the harmonic sum is within ~12% of the
-        # full-window value and the attack shape is identical.
-        return {
-            k: run_feinting(trefi_per_mitigation=k, periods=512).acts_on_attack_row
-            for k in RATES
-        }
-
-    measured = benchmark.pedantic(attack_all, rounds=1, iterations=1)
-    rows = []
-    for k in RATES:
-        bound = 67 * k * sum(1.0 / i for i in range(1, 513))
-        rows.append((f"1 per {k} tREFI (512 periods)", round(bound), measured[k]))
+    result = benchmark.pedantic(
+        lambda: run_figure("table2"), rounds=1, iterations=1
+    )
+    prefix_bounds = _bounds(result, periods=512)
+    points = result.artifacts["attack:table2"]["points"].values()
+    measured = {
+        p["params"]["trefi_per_mitigation"]: p["metrics"][
+            "acts_on_attack_row"
+        ]
+        for p in points
+    }
     report(
-        paper_vs_measured(
-            "Table 2 - Feinting attack simulation vs scaled bound",
-            "mitigation rate",
-            rows,
-            value_headers=("bound", "simulated"),
+        "Table 2 - simulated feinting vs 512-period bound: "
+        + ", ".join(
+            f"k={k}: {int(measured[k])}/{prefix_bounds[k]:.0f}"
+            for k in RATES
         )
     )
-    for k in RATES:
-        bound = 67 * k * sum(1.0 / i for i in range(1, 513))
-        assert measured[k] >= 0.8 * bound
-        assert measured[k] <= bound + 67 * k
+    for rate in RATES:
+        # The discrete attack tracks the harmonic bound from below,
+        # within one mitigation period's worth of activations.
+        assert measured[rate] >= 0.8 * prefix_bounds[rate]
+        assert measured[rate] <= prefix_bounds[rate] + 67 * rate

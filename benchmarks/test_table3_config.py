@@ -1,22 +1,19 @@
-"""Table 3: baseline system configuration."""
+"""Table 3: baseline system configuration.
 
-from repro.dram.timing import BASELINE_SYSTEM
-from repro.report.tables import format_table
+Pulls from the cached ``model:table3`` artifact via the figure
+registry.
+"""
+
+from benchmarks.conftest import figure_text, rows_by_label, run_figure
 
 
 def test_table3_config(benchmark, report):
-    cfg = benchmark.pedantic(lambda: BASELINE_SYSTEM, rounds=1, iterations=1)
-    rows = [
-        ("Out-of-order cores", "8 core, 4GHz, 4-wide, 256 ROB",
-         f"{cfg.cores} core, {cfg.core_freq_ghz}GHz, {cfg.core_width}-wide, {cfg.rob_entries} ROB"),
-        ("LLC", "8MB, 16-way, 64B lines",
-         f"{cfg.llc_bytes // 2**20}MB, {cfg.llc_ways}-way, {cfg.line_bytes}B lines"),
-        ("Memory", "32 GB DDR5", f"{cfg.memory_gb} GB DDR5"),
-        ("tALERT (L1)", "530 ns", f"{cfg.timing.alert_duration(1):.0f} ns"),
-        ("Banks x Sub-ch x Rank", "32 x 2 x 1",
-         f"{cfg.banks} x {cfg.subchannels} x {cfg.ranks}"),
-        ("Rows per bank", "64K x 8KB", f"{cfg.rows_per_bank // 1024}K x {cfg.row_bytes // 1024}KB"),
-        ("Page policy", "closed", "closed" if cfg.closed_page else "open"),
-    ]
-    report(format_table(["parameter", "paper", "model"], rows, title="Table 3 - System configuration"))
-    assert cfg.timing.alert_duration(1) == 530.0
+    result = benchmark.pedantic(
+        lambda: run_figure("table3"), rounds=1, iterations=1
+    )
+    report(figure_text(result))
+    rows = rows_by_label(result)
+    assert rows["alert_l1_ns"].measured == 530.0
+    # The modelled system matches the published configuration exactly.
+    for row in result.rows:
+        assert row.measured == row.paper, row.label

@@ -3,44 +3,30 @@
 Generates every workload's synthetic activation stream and measures the
 per-tREFW hot-row counts, confirming the generator is calibrated to the
 published characteristics.
+
+Pulls from the cached ``model:table4`` artifact via the figure registry
+(one ``workload-stats`` point per workload at the harness scale).
 """
 
 import pytest
 
-from benchmarks.conftest import all_profiles
-from repro.report.tables import format_table
-from repro.workloads.generator import measure_characteristics
+from benchmarks.conftest import figure_text, run_figure
 
 
-def test_table4_characteristics(benchmark, report, schedules):
-    profiles = all_profiles()
-
-    def measure_all():
-        return {
-            p.name: measure_characteristics(schedules.get(p)) for p in profiles
-        }
-
-    measured = benchmark.pedantic(measure_all, rounds=1, iterations=1)
-    rows = []
-    for p in profiles:
-        m = measured[p.name]
-        rows.append(
-            (
-                p.display_name,
-                p.act_pki,
-                f"{p.act_32_plus}/{p.act_64_plus}/{p.act_128_plus}",
-                f"{m['act_32_plus']:.0f}/{m['act_64_plus']:.0f}/{m['act_128_plus']:.0f}",
-            )
-        )
-    report(
-        format_table(
-            ["workload", "ACT-PKI", "paper 32+/64+/128+", "measured 32+/64+/128+"],
-            rows,
-            title="Table 4 - Workload characteristics",
-        )
+def test_table4_characteristics(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_figure("table4"), rounds=1, iterations=1
     )
-    for p in profiles:
-        m = measured[p.name]
-        assert m["act_32_plus"] == pytest.approx(p.act_32_plus, rel=0.08, abs=4)
-        assert m["act_64_plus"] == pytest.approx(p.act_64_plus, rel=0.08, abs=4)
-        assert m["act_128_plus"] == pytest.approx(p.act_128_plus, rel=0.08, abs=4)
+    report(figure_text(result))
+    points = list(result.artifacts["model:table4"]["points"].values())
+    assert points
+    for point in points:
+        metrics = point["metrics"]
+        workload = point["params"]["workload"]
+        for threshold in (32, 64, 128):
+            measured = metrics[f"act_{threshold}_plus"]
+            paper = metrics[f"paper_act_{threshold}_plus"]
+            assert measured == pytest.approx(paper, rel=0.08, abs=4), (
+                workload,
+                threshold,
+            )

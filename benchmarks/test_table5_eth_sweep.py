@@ -4,69 +4,34 @@ Lower ETH means more rows are eligible for proactive mitigation (more
 energy); higher ETH starves the proactive path and pushes work onto
 ALERTs (more slowdown). ETH = ATH/2 = 32 is the paper's balance point.
 
-Runs on the ``repro.sweep`` parallel runner (the ``table5`` preset at
-benchmark scale), sharing the point cache with ``repro sweep table5``.
+Pulls from the cached ``sweep:table5`` artifact via the figure registry
+— the same grid ``repro sweep table5`` executes, sharing its point
+cache.
 """
 
-from benchmarks.conftest import N_TREFI, run_grid, sweep_profiles
-from repro.report.paper_values import TABLE5_ETH
-from repro.report.tables import format_table
-from repro.sweep.spec import PRESETS
+from benchmarks.conftest import figure_text, record_figure, run_figure
 
 ETH_VALUES = [0, 16, 32, 48]
 
 
 def test_table5_eth_sweep(benchmark, report, record_json):
-    profiles = sweep_profiles()
-    spec = PRESETS["table5"].with_overrides(
-        n_trefi=N_TREFI, workloads=tuple(p.name for p in profiles)
+    result = benchmark.pedantic(
+        lambda: run_figure("table5"), rounds=1, iterations=1
     )
-    assert sorted(spec.eth) == sorted(ETH_VALUES)
+    report(figure_text(result))
+    record_figure(record_json, result, key="table5")
 
-    result = benchmark.pedantic(lambda: run_grid(spec), rounds=1, iterations=1)
-
+    points = list(result.artifacts["sweep:table5"]["points"].values())
     table = {}
     for eth in ETH_VALUES:
-        metrics = [r.metrics for r in result.results if r.eth == eth]
-        assert len(metrics) == len(profiles)
-        mitigations = sum(
+        metrics = [p["metrics"] for p in points if p["eth"] == eth]
+        assert metrics, f"no points at ETH={eth}"
+        table[eth] = sum(
             m["mitigations_per_trefw_per_bank"] for m in metrics
         ) / len(metrics)
-        slowdown = sum(m["slowdown"] for m in metrics) / len(metrics)
-        table[eth] = (mitigations, slowdown)
 
-    rows = [
-        (
-            eth,
-            TABLE5_ETH[eth][0],
-            round(table[eth][0]),
-            f"{TABLE5_ETH[eth][1] * 100:.2f}%",
-            f"{table[eth][1] * 100:.2f}%",
-        )
-        for eth in ETH_VALUES
-    ]
-    report(
-        format_table(
-            ["ETH", "paper mit/tREFW", "measured", "paper slowdown", "measured"],
-            rows,
-            title="Table 5 - ETH sweep at ATH=64 (sweep subset; paper averages all 21)",
-        )
-    )
-    record_json(
-        {
-            "mitigations_per_trefw_by_eth": {
-                str(eth): table[eth][0] for eth in ETH_VALUES
-            },
-            "slowdown_by_eth": {str(eth): table[eth][1] for eth in ETH_VALUES},
-            "sweep_hash": spec.sweep_hash(),
-            "wall_clock_s": result.wall_clock_s,
-            "compute_time_s": result.compute_time_s,
-            "cache_hits": result.cache_hits,
-        },
-        key="table5",
-    )
     # Shape assertions: mitigation volume decreases monotonically with
     # ETH, and ETH=0 does the most proactive work.
-    mitigation_counts = [table[eth][0] for eth in ETH_VALUES]
-    assert mitigation_counts == sorted(mitigation_counts, reverse=True)
-    assert table[0][0] > table[48][0]
+    counts = [table[eth] for eth in ETH_VALUES]
+    assert counts == sorted(counts, reverse=True)
+    assert table[0] > table[48]

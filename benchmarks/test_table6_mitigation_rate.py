@@ -3,44 +3,31 @@
 Faster proactive mitigation (one aggressor per fewer tREFI) leaves less
 work for ALERTs; with no proactive mitigation at all, every hot row is
 serviced reactively.
+
+Pulls from the cached ``sweep:table6`` artifact via the figure
+registry.
 """
 
-from benchmarks.conftest import run_one, sweep_profiles
-from repro.report.paper_values import TABLE6_MITIGATION_RATE
-from repro.report.tables import format_table
+from benchmarks.conftest import figure_text, run_figure
 
 RATES = [1, 3, 5, 10, 0]  # 0 encodes "none (ALERT only)"
 
 
-def test_table6_mitigation_rate(benchmark, report, schedules):
-    profiles = sweep_profiles()
-
-    def sweep():
-        table = {}
-        for rate in RATES:
-            results = [
-                run_one(p, schedules, ath=64, trefi_per_mitigation=rate)
-                for p in profiles
-            ]
-            table[rate] = sum(r.slowdown for r in results) / len(results)
-        return table
-
-    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    rows = [
-        (
-            "none (ALERT only)" if rate == 0 else f"1 per {rate} tREFI",
-            f"{TABLE6_MITIGATION_RATE[rate] * 100:.2f}%",
-            f"{table[rate] * 100:.2f}%",
-        )
-        for rate in RATES
-    ]
-    report(
-        format_table(
-            ["mitigation rate", "paper slowdown", "measured"],
-            rows,
-            title="Table 6 - Mitigation-rate sweep at ATH=64 (sweep subset)",
-        )
+def test_table6_mitigation_rate(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_figure("table6"), rounds=1, iterations=1
     )
+    report(figure_text(result))
+
+    points = list(result.artifacts["sweep:table6"]["points"].values())
+    table = {}
+    for rate in RATES:
+        metrics = [
+            p["metrics"] for p in points if p["trefi_per_mitigation"] == rate
+        ]
+        assert metrics, f"no points at rate {rate}"
+        table[rate] = sum(m["slowdown"] for m in metrics) / len(metrics)
+
     # Shape: slowdown grows as the proactive rate drops (the fixed
     # point's discreteness allows some noise between adjacent rates,
     # hence the slack on the tail comparisons).

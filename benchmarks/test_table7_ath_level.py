@@ -1,55 +1,40 @@
 """Table 7: ATH x ABO-level sweep — slowdown and tolerated T_RH.
 
-The Safe-TRH column comes from the Appendix A Ratchet model (matches
-the paper within one activation on every cell); the slowdown column is
-measured on the sweep workload subset.
+The slowdown grid comes from the cached ``sweep:table7`` artifact via
+the figure registry; the Safe-TRH column is the Appendix A Ratchet
+model, reproduced (and asserted cell-by-cell) by the Figure 15
+benchmark over the shared ``model:fig15`` artifact.
 """
 
-from benchmarks.conftest import run_one, sweep_profiles
-from repro.analysis.ratchet_model import ratchet_safe_trh
-from repro.report.paper_values import TABLE7_ATH_LEVEL
-from repro.report.tables import format_table
+from benchmarks.conftest import figure_text, run_figure
 
-CELLS = [(32, 1), (32, 2), (32, 4), (64, 1), (64, 2), (64, 4), (128, 1), (128, 2), (128, 4)]
+CELLS = [(32, 1), (32, 2), (32, 4), (64, 1), (64, 2), (64, 4),
+         (128, 1), (128, 2), (128, 4)]
 
 
-def test_table7_ath_level(benchmark, report, schedules):
-    profiles = sweep_profiles()
-
-    def sweep():
-        table = {}
-        for ath, level in CELLS:
-            results = [
-                run_one(p, schedules, ath=ath, abo_level=level) for p in profiles
-            ]
-            slowdown = sum(r.slowdown for r in results) / len(results)
-            table[(ath, level)] = (slowdown, ratchet_safe_trh(ath, level))
-        return table
-
-    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    rows = []
-    for ath, level in CELLS:
-        paper_slow, paper_trh = TABLE7_ATH_LEVEL[(ath, level)]
-        slow, trh = table[(ath, level)]
-        rows.append(
-            (
-                ath,
-                f"MOAT-L{level}",
-                f"{paper_slow * 100:.2f}%",
-                f"{slow * 100:.2f}%",
-                paper_trh,
-                trh,
-            )
-        )
-    report(
-        format_table(
-            ["ATH", "design", "paper slowdown", "measured", "paper TRH", "model TRH"],
-            rows,
-            title="Table 7 - ATH x ABO-level sweep",
-        )
+def test_table7_ath_level(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_figure("table7"), rounds=1, iterations=1
     )
-    for (ath, level), (_, trh) in table.items():
-        assert abs(trh - TABLE7_ATH_LEVEL[(ath, level)][1]) <= 1
+    report(figure_text(result))
+
+    points = list(result.artifacts["sweep:table7"]["points"].values())
+    table = {}
+    for ath, level in CELLS:
+        metrics = [
+            p["metrics"]
+            for p in points
+            if p["ath"] == ath and p["abo_level"] == level
+        ]
+        assert metrics, f"no points at ({ath}, L{level})"
+        table[(ath, level)] = sum(m["slowdown"] for m in metrics) / len(
+            metrics
+        )
+
     # Shape: lower ATH costs more performance at every level.
     for level in (1, 2, 4):
-        assert table[(32, level)][0] >= table[(64, level)][0] >= table[(128, level)][0]
+        assert (
+            table[(32, level)]
+            >= table[(64, level)]
+            >= table[(128, level)]
+        )

@@ -22,6 +22,8 @@ per-table/figure reproduction harness.
 """
 
 from repro.abo import AboConfig, AboProtocol
+from repro.report.figures import FIGURES, FigureSpec
+from repro.report.pipeline import ReportOptions, run_figure, run_figures
 from repro.dram import (
     Bank,
     CounterResetPolicy,
@@ -116,5 +118,10 @@ __all__ = [
     "TABLE4_PROFILES",
     "WorkloadProfile",
     "profile_by_name",
+    "FIGURES",
+    "FigureSpec",
+    "ReportOptions",
+    "run_figure",
+    "run_figures",
     "__version__",
 ]

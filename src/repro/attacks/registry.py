@@ -11,6 +11,9 @@ Registered kinds, their entry points, and the paper results they drive:
 =============== =====================================================
 ``jailbreak``     :func:`~repro.attacks.jailbreak.run_deterministic_jailbreak`
                   (Figure 5, Section 3.2).
+``jailbreak-randomized``
+                  :func:`~repro.attacks.jailbreak.run_randomized_jailbreak_iteration`
+                  (Figure 5, Section 3.3).
 ``ratchet``       :func:`~repro.attacks.ratchet.run_ratchet`
                   (Figure 10, Section 5).
 ``feinting``      :func:`~repro.attacks.feinting.run_feinting`
@@ -42,7 +45,10 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.attacks.base import AttackResult, AttackRunConfig
 from repro.attacks.feinting import run_feinting
-from repro.attacks.jailbreak import run_deterministic_jailbreak
+from repro.attacks.jailbreak import (
+    run_deterministic_jailbreak,
+    run_randomized_jailbreak_iteration,
+)
 from repro.attacks.kernels import run_multi_row_kernel, run_single_row_kernel
 from repro.attacks.postponement import run_postponement_attack
 from repro.attacks.ratchet import run_ratchet
@@ -78,6 +84,33 @@ class _AttackKind:
             if name not in _RESERVED_PARAMS
         )
 
+    def required_param_names(self) -> Tuple[str, ...]:
+        """Parameters the runner has no default for (must be in specs)."""
+        signature = inspect.signature(self.runner)
+        return tuple(
+            name
+            for name, param in signature.parameters.items()
+            if name not in _RESERVED_PARAMS
+            and param.default is inspect.Parameter.empty
+        )
+
+    def sequence_param_names(self) -> Tuple[str, ...]:
+        """Parameters whose runner annotation is a sequence type.
+
+        Only these may carry tuple values in a spec; every other
+        registered parameter is a scalar integer.
+        """
+        signature = inspect.signature(self.runner)
+        return tuple(
+            name
+            for name, param in signature.parameters.items()
+            if name not in _RESERVED_PARAMS
+            and any(
+                marker in str(param.annotation)
+                for marker in ("List", "Sequence", "Tuple", "list", "tuple")
+            )
+        )
+
 
 _REGISTRY: Dict[str, _AttackKind] = {
     kind.name: kind
@@ -85,6 +118,12 @@ _REGISTRY: Dict[str, _AttackKind] = {
         _AttackKind(
             "jailbreak", run_deterministic_jailbreak,
             "deterministic queue-camping against Panopticon",
+            "Figure 5", adaptive=True,
+        ),
+        _AttackKind(
+            "jailbreak-randomized", run_randomized_jailbreak_iteration,
+            "one fully-simulated randomized-Jailbreak iteration "
+            "(counters chosen by the caller, so still deterministic)",
             "Figure 5", adaptive=True,
         ),
         _AttackKind(
@@ -174,6 +213,30 @@ class AttackSpec:
                     f"attack {self.kind!r} has no parameter {name!r}; "
                     f"known: {', '.join(sorted(allowed))}"
                 )
+        # Sequence values are only legal for parameters the runner
+        # declares as sequences; a tuple for a scalar parameter would
+        # otherwise surface as a TypeError deep in the attack.
+        sequence_ok = set(_REGISTRY[self.kind].sequence_param_names())
+        for name, value in self.params:
+            if isinstance(value, (list, tuple)) and name not in sequence_ok:
+                raise ValueError(
+                    f"attack {self.kind!r} parameter {name!r} takes a "
+                    "single value, not a sequence"
+                )
+        # Parameters the runner cannot default must be in the spec, so
+        # an incomplete spec fails here (a clean ValueError) rather
+        # than as a TypeError inside execute().
+        provided = {name for name, _ in self.params}
+        missing = [
+            name
+            for name in _REGISTRY[self.kind].required_param_names()
+            if name not in provided
+        ]
+        if missing:
+            raise ValueError(
+                f"attack {self.kind!r} requires parameters: "
+                f"{', '.join(missing)}"
+            )
         object.__setattr__(self, "params", tuple(sorted(self.params)))
 
     @staticmethod

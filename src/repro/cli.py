@@ -11,6 +11,12 @@ Commands:
   recorded address trace via ``--trace``), optionally across multiple
   sub-channels (``--channels``); ``--list-policies`` prints the
   mitigation registry.
+* ``report`` — the unified paper report: ``report all`` (or ``report
+  run <figure>...``) renders every registered paper figure/table from
+  cached ``BENCH_*`` artifacts as paper-vs-measured tables plus a
+  machine-readable ``BENCH_report.json``; ``--check`` gates every
+  source artifact against the committed smoke baselines;
+  ``report list`` prints the figure registry.
 * ``sweep`` — run a named experiment grid (paper figure/table presets)
   in parallel, emit a ``BENCH_sweep.json`` artifact, and optionally
   gate against a committed baseline (``--check``);
@@ -46,6 +52,17 @@ from repro.mitigations.registry import (
     PolicySpec,
     policy_descriptions,
     policy_kinds,
+)
+from repro.report.figures import FIGURES
+from repro.report.pipeline import (
+    ReportOptions,
+    SMOKE_N_TREFI,
+    check_results,
+    make_report_artifact,
+    render_figure_text,
+    render_markdown,
+    run_figures,
+    write_baselines,
 )
 from repro.report.tables import format_table
 from repro.sim.attack_perf import run_attack
@@ -103,17 +120,32 @@ _ATTACK_FLAG_PARAMS = (
 #: CLI-level parameter defaults applied when the user sets nothing.
 #: feinting's library default is a full refresh window (2048 periods,
 #: tens of seconds); the CLI keeps the historical 256-period quick run.
+#: jailbreak-randomized has no library defaults for its counter state,
+#: so the CLI supplies the paper's all-heavy iteration (Figure 5).
 _ATTACK_RUN_DEFAULTS = {
     "feinting": {"periods": 256},
+    "jailbreak-randomized": {
+        "initial_counters": (112,) * 8,
+        "attack_row_counter": 96,
+    },
 }
 
 
 def _parse_set_value(raw: str):
+    # "a,b,c" is a tuple parameter (e.g. jailbreak-randomized's
+    # initial_counters); elements go through the scalar parser.
+    if "," in raw:
+        return tuple(_parse_set_value(part) for part in raw.split(","))
     for parse in (int, float):
         try:
-            return parse(raw)
+            value = parse(raw)
         except ValueError:
             continue
+        # Integral floats ("96.0") mean the integer, in tuple elements
+        # exactly as in scalars.
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        return value
     return raw
 
 
@@ -146,14 +178,14 @@ def _cmd_attack_run(args: argparse.Namespace) -> int:
             return 2
         name, _, raw = item.partition("=")
         value = _parse_set_value(raw)
-        if isinstance(value, float) and value.is_integer():
-            value = int(value)
-        if not isinstance(value, int):
-            # Every registered attack parameter is an integer (counts,
-            # thresholds, levels); catching this here keeps type
-            # errors out of the attack internals.
-            print(f"error: --set {name} expects an integer value, "
-                  f"got {raw!r}", file=sys.stderr)
+        scalars = value if isinstance(value, tuple) else (value,)
+        if not all(isinstance(scalar, int) for scalar in scalars):
+            # Every registered attack parameter is an integer or a
+            # tuple of integers (counts, thresholds, levels); catching
+            # this here keeps type errors out of the attack internals.
+            print(f"error: --set {name} expects an integer (or "
+                  f"comma-separated integers), got {raw!r}",
+                  file=sys.stderr)
             return 2
         params[name] = value
     for name, value in _ATTACK_RUN_DEFAULTS.get(args.name, {}).items():
@@ -165,7 +197,7 @@ def _cmd_attack_run(args: argparse.Namespace) -> int:
     try:
         result = run_attack(AttackSpec.of(args.name, **params), run_config)
     except ValueError as exc:
-        # Bad parameter names (AttackSpec validation), impossible
+        # Bad or missing parameters (AttackSpec validation), impossible
         # geometry, or an adaptive attack at subchannels > 1.
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -462,6 +494,93 @@ def _emit_artifact_and_gate(
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        rows = [
+            (
+                spec.name,
+                spec.section,
+                ", ".join(spec.source_keys()),
+                ", ".join(spec.paper_values),
+            )
+            for spec in FIGURES.values()
+        ]
+        print(format_table(
+            ["figure", "paper section", "sources", "paper values"], rows,
+            title="Registered paper figures/tables"))
+        return 0
+
+    if args.action == "all":
+        names = list(FIGURES)
+    else:
+        names = args.figures
+        if not names:
+            print("error: report run needs at least one figure name "
+                  "(see 'report list')", file=sys.stderr)
+            return 2
+        unknown = [name for name in names if name not in FIGURES]
+        if unknown:
+            print(f"error: unknown figures: {', '.join(unknown)} "
+                  f"(known: {', '.join(FIGURES)})", file=sys.stderr)
+            return 2
+    if args.trefi <= 0:
+        print("error: --trefi must be positive", file=sys.stderr)
+        return 2
+
+    progress = None
+    if not args.quiet:
+        progress = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
+    options = ReportOptions(
+        n_trefi=args.trefi,
+        jobs=args.jobs,
+        cache_root=None if args.no_cache else Path(args.cache_root),
+        progress=progress,
+    )
+    results = run_figures(names, options)
+
+    if args.write_baselines:
+        root = Path(args.baseline_root) if args.baseline_root else None
+        for path in write_baselines(results, root=root):
+            print(f"baseline written: {path}", file=sys.stderr)
+        return 0
+
+    if args.check:
+        root = Path(args.baseline_root) if args.baseline_root else None
+        check_results(results, baseline_root=root,
+                      rtol=args.rtol, atol=args.atol)
+
+    for result in results:
+        print(render_figure_text(result))
+        print()
+
+    artifact = make_report_artifact(results, options)
+    out_path = Path(args.out)
+    write_artifact(out_path, artifact)
+    print(f"report artifact: {out_path}", file=sys.stderr)
+    md_path = Path(args.md)
+    md_path.parent.mkdir(parents=True, exist_ok=True)
+    md_path.write_text(render_markdown(results) + "\n")
+    print(f"report markdown: {md_path}", file=sys.stderr)
+
+    failed = [r for r in results if r.checked and not r.ok]
+    if failed:
+        print("REPORT BASELINE CHECK FAILED:", file=sys.stderr)
+        seen = set()
+        for result in failed:
+            for problem in result.problems:
+                # A drifted source shared by several figures is one
+                # defect; print it once (the problem line carries the
+                # source key).
+                if problem not in seen:
+                    seen.add(problem)
+                    print(f"  - {problem}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"report baseline check passed "
+              f"({len(results)} figures)", file=sys.stderr)
+    return 0
+
+
 def _cmd_model(args: argparse.Namespace) -> int:
     if args.name == "table2":
         table = feinting_table()
@@ -663,6 +782,67 @@ def build_parser() -> argparse.ArgumentParser:
         cache_dir_default=str(DEFAULT_CACHE_DIR),
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="render the unified paper-vs-measured report from cached "
+        "artifacts",
+    )
+    report_sub = report.add_subparsers(dest="action", required=True)
+    report_all = report_sub.add_parser(
+        "all", help="render every registered paper figure/table"
+    )
+    report_run = report_sub.add_parser(
+        "run", help="render selected figures (see 'report list')"
+    )
+    report_run.add_argument("figures", nargs="*", metavar="FIGURE",
+                            help="registered figure names")
+    for sub_parser in (report_all, report_run):
+        sub_parser.add_argument(
+            "--trefi", type=int, default=SMOKE_N_TREFI,
+            help="window length for the performance sweeps (default "
+            f"{SMOKE_N_TREFI} = the committed smoke-baseline scale; "
+            "use 8192 for the full paper figure)")
+        sub_parser.add_argument(
+            "--jobs", type=int, default=max(1, os.cpu_count() or 1),
+            help="worker processes (default: CPU count)")
+        sub_parser.add_argument(
+            "--out", default="BENCH_report.json",
+            help="machine-readable report path")
+        sub_parser.add_argument(
+            "--md", default="BENCH_report.md",
+            help="rendered markdown report path")
+        gate = sub_parser.add_mutually_exclusive_group()
+        gate.add_argument(
+            "--check", action="store_true",
+            help="gate every source artifact against its committed "
+            "baseline; exit 1 on drift")
+        gate.add_argument(
+            "--write-baselines", action="store_true",
+            help="write every source artifact as its committed "
+            "baseline (mutually exclusive with --check)")
+        sub_parser.add_argument(
+            "--baseline-root", default=None,
+            help="root containing benchmarks/baselines/ for both "
+            "--check and --write-baselines (default: CWD if it holds "
+            "the baseline dir, else the repro checkout)")
+        sub_parser.add_argument("--rtol", type=float, default=DEFAULT_RTOL,
+                                help="relative metric tolerance for --check")
+        sub_parser.add_argument("--atol", type=float, default=DEFAULT_ATOL,
+                                help="absolute metric tolerance for --check")
+        sub_parser.add_argument(
+            "--cache-root", default=".repro-cache",
+            help="root of the per-family point caches")
+        sub_parser.add_argument("--no-cache", action="store_true",
+                                help="disable the per-point result caches")
+        sub_parser.add_argument("--quiet", action="store_true",
+                                help="suppress per-point progress on stderr")
+    report_list = report_sub.add_parser(
+        "list", help="list the registered paper figures/tables"
+    )
+    report_list.set_defaults(func=_cmd_report)
+    report_all.set_defaults(func=_cmd_report)
+    report_run.set_defaults(func=_cmd_report)
 
     model = sub.add_parser("model", help="print an analytical model table")
     model.add_argument("name", choices=["table2", "safe-trh", "throughput"])

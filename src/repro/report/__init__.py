@@ -1,6 +1,40 @@
-"""Reporting helpers: paper ground-truth values and table formatting."""
+"""Reporting: paper ground-truth values, the figure registry, the
+report pipeline, and table formatting."""
 
-from repro.report.tables import format_table, paper_vs_measured
 from repro.report import paper_values
+from repro.report.figures import FIGURES, FigureRow, FigureSpec, SourceRef
+from repro.report.pipeline import (
+    REPORT_SCHEMA,
+    FigureResult,
+    ReportOptions,
+    check_result,
+    check_results,
+    make_report_artifact,
+    render_figure_text,
+    render_markdown,
+    run_figure,
+    run_figures,
+    write_baselines,
+)
+from repro.report.tables import format_table, paper_vs_measured
 
-__all__ = ["format_table", "paper_vs_measured", "paper_values"]
+__all__ = [
+    "format_table",
+    "paper_vs_measured",
+    "paper_values",
+    "FIGURES",
+    "FigureRow",
+    "FigureSpec",
+    "SourceRef",
+    "REPORT_SCHEMA",
+    "FigureResult",
+    "ReportOptions",
+    "check_result",
+    "check_results",
+    "make_report_artifact",
+    "render_figure_text",
+    "render_markdown",
+    "run_figure",
+    "run_figures",
+    "write_baselines",
+]

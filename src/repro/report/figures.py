@@ -1,0 +1,930 @@
+"""The paper figure/table registry: one declarative entry per artifact.
+
+Every figure and table the reproduction covers is a :class:`FigureSpec`
+that names
+
+* the **sources** that produce its data — sweep, attack, or model
+  presets (:data:`repro.sweep.spec.PRESETS`,
+  :data:`repro.sweep.attack_spec.ATTACK_PRESETS`,
+  :data:`repro.sweep.model_spec.MODEL_PRESETS`) — all executed through
+  the shared ``run_cached_grid`` cache/pool core;
+* the **extraction** that turns the sources' ``BENCH_*.json`` artifacts
+  into paper-vs-measured rows; and
+* the **paper values** it owns in :mod:`repro.report.paper_values`.
+
+The ownership declaration is a partition: every public constant in
+``paper_values`` belongs to exactly one figure and every figure owns at
+least one constant (``tests/report/test_figures.py`` enforces both), so
+a paper number can neither be silently dropped from the report nor
+double-counted by two figures.
+
+Extractions consume artifacts — never live simulators — so everything
+the report renders is cacheable, diffable, and baseline-gated. They may
+fold in closed-form arithmetic (a threshold ratio, an energy share),
+but any quantity worth gating lives in a source preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.energy import activation_energy_overhead
+from repro.dram.timing import DDR5_PRAC_TIMING
+from repro.report import paper_values as pv
+
+#: Artifact families a figure source can come from, mapped by the
+#: pipeline onto (preset table, runner, artifact builder, baseline
+#: naming, schema, gated metrics).
+FAMILIES = ("sweep", "attack", "model")
+
+Artifacts = Dict[str, Dict]
+
+
+@dataclass(frozen=True)
+class SourceRef:
+    """One preset feeding a figure: ``family:preset``."""
+
+    family: str
+    preset: str
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown source family {self.family!r}; known: "
+                f"{', '.join(FAMILIES)}"
+            )
+
+    @property
+    def key(self) -> str:
+        return f"{self.family}:{self.preset}"
+
+
+@dataclass(frozen=True)
+class FigureRow:
+    """One paper-vs-measured comparison row of a rendered figure."""
+
+    label: str
+    paper: Optional[float] = None
+    measured: Optional[float] = None
+    note: str = ""
+
+    @property
+    def rel_delta(self) -> Optional[float]:
+        """Relative drift of measured vs paper (None when no paper or
+        no measured value exists).
+
+        A paper value of zero makes the usual ratio undefined, but any
+        nonzero measurement against it is still full drift — hiding it
+        would make a "~0 slowdown" regression invisible in the delta
+        column and in ``max_abs_rel_delta``. Those rows report ±100%
+        (the difference normalized by the measured magnitude).
+        """
+        if self.paper is None or self.measured is None:
+            return None
+        if self.paper == 0:
+            if self.measured == 0:
+                return 0.0
+            return 1.0 if self.measured > 0 else -1.0
+        return (self.measured - self.paper) / abs(self.paper)
+
+
+Extractor = Callable[[Artifacts], List[FigureRow]]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Registry entry for one paper figure/table."""
+
+    name: str
+    title: str
+    section: str
+    sources: Tuple[SourceRef, ...]
+    #: Names of the :mod:`repro.report.paper_values` constants this
+    #: figure owns (the coverage test enforces the exact partition).
+    paper_values: Tuple[str, ...]
+    extract: Extractor = field(compare=False)
+
+    def source_keys(self) -> Tuple[str, ...]:
+        return tuple(ref.key for ref in self.sources)
+
+
+# ---------------------------------------------------------------------------
+# Artifact point selectors. Extractions select points on the artifact's
+# structured fields (axes for sweep points, kind/params for attack and
+# model points) — never by parsing key strings.
+
+
+def _points(artifacts: Artifacts, key: str) -> List[Dict]:
+    try:
+        artifact = artifacts[key]
+    except KeyError:
+        raise KeyError(
+            f"figure extraction needs source artifact {key!r}; have: "
+            f"{', '.join(sorted(artifacts))}"
+        ) from None
+    return list(artifact["points"].values())
+
+
+def _one(matches: Sequence[Dict], what: str) -> Dict:
+    if len(matches) != 1:
+        raise ValueError(
+            f"expected exactly one artifact point for {what}, "
+            f"found {len(matches)}"
+        )
+    return matches[0]
+
+
+def _sweep_points(artifacts: Artifacts, preset: str, **axes) -> List[Dict]:
+    """Sweep points whose axis fields match ``axes`` exactly."""
+    return [
+        p
+        for p in _points(artifacts, f"sweep:{preset}")
+        if all(p.get(name) == value for name, value in axes.items())
+    ]
+
+
+def _attack_point(
+    artifacts: Artifacts, preset: str, kind: str, **params
+) -> Dict:
+    """The unique attack point of ``kind`` whose params cover ``params``."""
+    matches = [
+        p
+        for p in _points(artifacts, f"attack:{preset}")
+        if p.get("kind") == kind
+        and all(p.get("params", {}).get(k) == v for k, v in params.items())
+    ]
+    return _one(matches, f"attack:{preset} {kind} {params}")
+
+
+def _model_point(
+    artifacts: Artifacts, preset: str, kind: str, exact: bool = False, **params
+) -> Dict:
+    """The unique model point of ``kind`` matching ``params``.
+
+    ``exact=True`` requires the full parameter dict to equal ``params``
+    (distinguishes e.g. a full-window bound from its 512-period
+    variant, which differ only by an *extra* parameter).
+    """
+    def matched(p: Dict) -> bool:
+        point_params = p.get("params", {})
+        if exact:
+            return point_params == params
+        return all(point_params.get(k) == v for k, v in params.items())
+
+    matches = [
+        p
+        for p in _points(artifacts, f"model:{preset}")
+        if p.get("kind") == kind and matched(p)
+    ]
+    return _one(matches, f"model:{preset} {kind} {params}")
+
+
+def _avg(points: Sequence[Dict], metric: str) -> float:
+    if not points:
+        raise ValueError(f"no artifact points to average {metric!r} over")
+    return sum(p["metrics"][metric] for p in points) / len(points)
+
+
+# ---------------------------------------------------------------------------
+# Extractions, one per registered figure.
+
+
+def _extract_fig1(arts: Artifacts) -> List[FigureRow]:
+    trespass = _attack_point(arts, "fig1", "trespass", num_aggressors=32)
+    jailbreak = _attack_point(arts, "fig1", "jailbreak", threshold=128)
+    ratchet = _attack_point(arts, "fig1", "ratchet", ath=64, pool_size=64)
+    sram = {
+        design: _model_point(
+            arts, "fig1-sram", "design-sram", design=design
+        )["metrics"]["sram_bytes"]
+        for design in ("trr", "graphene", "panopticon", "moat")
+    }
+    target = float(pv.FIG1_TARGET_TRH)
+    return [
+        FigureRow("TRR-16 SRAM (B/bank)", measured=sram["trr"]),
+        FigureRow(
+            "TRR-16 worst exposure",
+            measured=trespass["metrics"]["max_danger"],
+            note=f"unbounded (target T_RH {target:.0f}) — insecure",
+        ),
+        FigureRow(
+            "Graphene-sized SRAM (B/bank)",
+            measured=sram["graphene"],
+            note="secure by construction, impractical cost",
+        ),
+        FigureRow("Panopticon SRAM (B/bank)", measured=sram["panopticon"]),
+        FigureRow(
+            "Panopticon Jailbreak exposure",
+            measured=jailbreak["metrics"]["acts_on_attack_row"],
+            note=f"breaks target T_RH {target:.0f} — insecure",
+        ),
+        FigureRow("MOAT SRAM (B/bank)", measured=sram["moat"]),
+        FigureRow(
+            "MOAT Ratchet exposure",
+            paper=target,
+            measured=ratchet["metrics"]["acts_on_attack_row"],
+            note="bounded at-or-below the target — secure",
+        ),
+    ]
+
+
+def _extract_fig5(arts: Artifacts) -> List[FigureRow]:
+    det = _attack_point(arts, "fig5", "jailbreak", threshold=128)
+    iteration = _attack_point(arts, "fig5", "jailbreak-randomized")
+    curve_points = _points(arts, "model:fig5-curve")
+    best = max(p["metrics"]["best_acts"] for p in curve_points)
+    acts = det["metrics"]["acts_on_attack_row"]
+    return [
+        FigureRow(
+            "deterministic ACTs on attack row",
+            paper=float(pv.JAILBREAK_DETERMINISTIC_ACTS),
+            measured=acts,
+        ),
+        FigureRow(
+            "x queueing threshold",
+            paper=pv.JAILBREAK_DETERMINISTIC_ACTS
+            / pv.JAILBREAK_QUEUE_THRESHOLD,
+            measured=acts / pv.JAILBREAK_QUEUE_THRESHOLD,
+        ),
+        FigureRow(
+            "deterministic ALERTs",
+            paper=0.0,
+            measured=det["metrics"]["alerts"],
+        ),
+        FigureRow(
+            "randomized best ACTs (sampled curve)",
+            paper=float(pv.JAILBREAK_RANDOMIZED_ACTS),
+            measured=best,
+            note=f"success prob {pv.JAILBREAK_RANDOMIZED_SUCCESS_PROB:.1e}"
+            "/iteration",
+        ),
+        FigureRow(
+            "all-heavy iteration ACTs (simulated)",
+            measured=iteration["metrics"]["acts_on_attack_row"],
+            note="validates the sampled curve's physics "
+            "(well above 6.5x the threshold)",
+        ),
+    ]
+
+
+def _extract_fig8(arts: Artifacts) -> List[FigureRow]:
+    return [
+        FigureRow(
+            f"min ACTs between ALERTs (level {level})",
+            paper=float(pv.FIG8_MIN_ACTS[level]),
+            measured=_model_point(arts, "fig8", "abo-config", level=level)[
+                "metrics"
+            ]["min_acts_between_alerts"],
+        )
+        for level in (1, 2, 4)
+    ]
+
+
+def _extract_fig9(arts: Artifacts) -> List[FigureRow]:
+    point = _attack_point(arts, "fig9", "ratchet", pool_size=4, abo_level=4)
+    acts = point["metrics"]["acts_on_attack_row"]
+    return [
+        FigureRow(
+            "ACTs beyond ATH on last row",
+            paper=float(pv.FIG9_EXTRA_ACTS),
+            measured=acts - 64,
+            note="idealized bookkeeping vs exact DDR5 timing",
+        ),
+        FigureRow(
+            "total ACTs on last row",
+            paper=64.0 + pv.FIG9_EXTRA_ACTS,
+            measured=acts,
+        ),
+        FigureRow(
+            "ALERTs in chain", paper=4.0, measured=point["metrics"]["alerts"]
+        ),
+    ]
+
+
+def _extract_fig10(arts: Artifacts) -> List[FigureRow]:
+    def model_trh(ath: int, level: int = 1) -> float:
+        return _model_point(
+            arts, "fig15", "safe-trh", ath=ath, level=level
+        )["metrics"]["safe_trh"]
+
+    rows = []
+    for ath in (32, 64, 128):
+        point = _attack_point(
+            arts, "fig10", "ratchet", ath=ath, pool_size=64
+        )
+        rows.append(
+            FigureRow(
+                f"Ratchet exposure @ ATH={ath} (pool 64)",
+                measured=point["metrics"]["acts_on_attack_row"],
+                note=f"model bound {model_trh(ath):.0f}",
+            )
+        )
+    for ath in (64, 128):
+        rows.append(
+            FigureRow(
+                f"safe T_RH @ ATH={ath} (model)",
+                paper=float(pv.FIG10_SAFE_TRH[ath]),
+                measured=model_trh(ath),
+            )
+        )
+    l4 = _attack_point(arts, "fig10", "ratchet", ath=64, abo_level=4)
+    rows.append(
+        FigureRow(
+            "exposure @ ATH=64, generalized L4 tracker (pool 8)",
+            measured=l4["metrics"]["acts_on_attack_row"],
+            note=f"model bound {model_trh(64, level=4):.0f}",
+        )
+    )
+    return rows
+
+
+def _extract_fig11(arts: Artifacts) -> List[FigureRow]:
+    at64 = _sweep_points(arts, "fig11", ath=64)
+    at128 = _sweep_points(arts, "fig11", ath=128)
+    rows = [
+        FigureRow(
+            "average slowdown @ ATH=64",
+            paper=pv.AVG_SLOWDOWN[64],
+            measured=_avg(at64, "slowdown"),
+        ),
+        FigureRow(
+            "average slowdown @ ATH=128",
+            paper=pv.AVG_SLOWDOWN[128],
+            measured=_avg(at128, "slowdown"),
+        ),
+        FigureRow(
+            "average ALERTs/tREFI @ ATH=64",
+            paper=pv.AVG_ALERTS_PER_TREFI_ATH64,
+            measured=_avg(at64, "alerts_per_trefi"),
+        ),
+    ]
+    roms = _sweep_points(arts, "fig11", ath=64, workload="roms")
+    if roms:
+        rows.append(
+            FigureRow(
+                "roms slowdown @ ATH=64 (worst workload)",
+                paper=pv.ROMS_SLOWDOWN_ATH64,
+                measured=roms[0]["metrics"]["slowdown"],
+            )
+        )
+    return rows
+
+
+def _extract_fig12(arts: Artifacts) -> List[FigureRow]:
+    rows = []
+    for banks in (1, 4, 8, 17):
+        point = _attack_point(arts, "fig12", "tsa", num_banks=banks)
+        paper = pv.TSA_LOSS.get(banks)
+        rows.append(
+            FigureRow(
+                f"throughput loss @ {banks} banks",
+                paper=float(paper) if paper is not None else None,
+                measured=point["metrics"]["detail:throughput_loss"],
+                note=f"{point['metrics']['alerts']:.0f} ALERTs",
+            )
+        )
+    return rows
+
+
+def _extract_fig13(arts: Artifacts) -> List[FigureRow]:
+    single = _attack_point(arts, "fig13", "kernel-single", ath=64)
+    multi = _attack_point(arts, "fig13", "kernel-multi", ath=64)
+    model = _model_point(arts, "sec71", "kernel-model", ath=64)
+    loss = float(pv.KERNEL_THROUGHPUT_LOSS)
+    return [
+        FigureRow(
+            "(A)^N single-row loss @ ATH=64",
+            paper=loss,
+            measured=single["metrics"]["detail:throughput_loss"],
+        ),
+        FigureRow(
+            "(ABCDE)^N multi-row loss @ ATH=64",
+            paper=loss,
+            measured=multi["metrics"]["detail:throughput_loss"],
+        ),
+        FigureRow(
+            "analytic stall-only loss @ ATH=64",
+            paper=loss,
+            measured=model["metrics"]["throughput_loss"],
+        ),
+        FigureRow(
+            "single-row loss @ ATH=32",
+            measured=_attack_point(arts, "fig13", "kernel-single", ath=32)[
+                "metrics"
+            ]["detail:throughput_loss"],
+            note="loss grows as ATH shrinks",
+        ),
+        FigureRow(
+            "single-row loss @ ATH=128",
+            measured=_attack_point(arts, "fig13", "kernel-single", ath=128)[
+                "metrics"
+            ]["detail:throughput_loss"],
+        ),
+    ]
+
+
+def _extract_fig15(arts: Artifacts) -> List[FigureRow]:
+    return [
+        FigureRow(
+            f"safe T_RH @ ATH={ath}, level {level}",
+            paper=float(paper),
+            measured=_model_point(
+                arts, "fig15", "safe-trh", ath=ath, level=level
+            )["metrics"]["safe_trh"],
+        )
+        for (ath, level), paper in sorted(pv.TABLE7_SAFE_TRH.items())
+    ]
+
+
+def _extract_fig16(arts: Artifacts) -> List[FigureRow]:
+    at128 = _attack_point(arts, "fig16", "postponement", threshold=128)
+    acts = at128["metrics"]["acts_on_attack_row"]
+    rows = [
+        FigureRow(
+            "ACTs on attack row (threshold 128)",
+            paper=float(pv.POSTPONEMENT_ACTS),
+            measured=acts,
+        ),
+        FigureRow(
+            "ACT window between batches",
+            paper=float(pv.POSTPONEMENT_ACTS_BETWEEN_BATCHES),
+            measured=acts - 128,
+        ),
+        FigureRow(
+            "burst rate (ACTs/tREFI)",
+            paper=float(pv.POSTPONEMENT_ACTS_PER_TREFI),
+            measured=float(DDR5_PRAC_TIMING.acts_per_trefi),
+            note="the postponed window fills at line rate",
+        ),
+    ]
+    for threshold in (64, 256):
+        point = _attack_point(
+            arts, "fig16", "postponement", threshold=threshold
+        )
+        rows.append(
+            FigureRow(
+                f"ACTs on attack row (threshold {threshold})",
+                paper=float(threshold + pv.POSTPONEMENT_ACTS_BETWEEN_BATCHES),
+                measured=point["metrics"]["acts_on_attack_row"],
+                note="expected threshold + 201",
+            )
+        )
+    return rows
+
+
+def _extract_fig17(arts: Artifacts) -> List[FigureRow]:
+    by_level = {
+        level: _sweep_points(arts, "fig17", abo_level=level)
+        for level in (1, 2, 4)
+    }
+    rows = [
+        FigureRow(
+            f"average slowdown MOAT-L{level}",
+            paper=pv.FIG17_SLOWDOWN[level],
+            measured=_avg(by_level[level], "slowdown"),
+        )
+        for level in (1, 2, 4)
+    ]
+    rate_l1 = _avg(by_level[1], "alerts_per_trefi")
+    for level in (2, 4):
+        measured = (
+            _avg(by_level[level], "alerts_per_trefi") / rate_l1
+            if rate_l1
+            else None
+        )
+        rows.append(
+            FigureRow(
+                f"ALERT-rate ratio L{level}/L1",
+                paper=pv.ALERT_RATE_VS_L1[level],
+                measured=measured,
+                note="higher levels service more rows per ALERT",
+            )
+        )
+    return rows
+
+
+def _extract_table1(arts: Artifacts) -> List[FigureRow]:
+    metrics = _model_point(arts, "table1", "timing")["metrics"]
+    return [
+        FigureRow(name, paper=float(paper), measured=metrics[name])
+        for name, paper in pv.TABLE1_TIMINGS.items()
+    ]
+
+
+def _extract_table2(arts: Artifacts) -> List[FigureRow]:
+    rows = []
+    for rate in (1, 2, 3, 4, 5):
+        bound = _model_point(
+            arts, "table2-bound", "feinting-bound", exact=True,
+            trefi_per_mitigation=rate,
+        )["metrics"]["bound"]
+        rows.append(
+            FigureRow(
+                f"T_RH bound, 1 per {rate} tREFI (full window)",
+                paper=float(pv.TABLE2_FEINTING[rate]),
+                measured=bound,
+            )
+        )
+    for rate in (1, 2, 3, 4, 5):
+        prefix_bound = _model_point(
+            arts, "table2-bound", "feinting-bound",
+            trefi_per_mitigation=rate, periods=512,
+        )["metrics"]["bound"]
+        simulated = _attack_point(
+            arts, "table2", "feinting", trefi_per_mitigation=rate
+        )["metrics"]["acts_on_attack_row"]
+        rows.append(
+            FigureRow(
+                f"simulated, 1 per {rate} tREFI (512 periods)",
+                measured=simulated,
+                note=f"512-period bound {prefix_bound:.0f}",
+            )
+        )
+    return rows
+
+
+def _extract_table3(arts: Artifacts) -> List[FigureRow]:
+    metrics = _model_point(arts, "table3", "system-config")["metrics"]
+    return [
+        FigureRow(name, paper=float(paper), measured=metrics[name])
+        for name, paper in pv.TABLE3_SYSTEM.items()
+    ]
+
+
+def _extract_table4(arts: Artifacts) -> List[FigureRow]:
+    points = _points(arts, "model:table4")
+    rows = [
+        FigureRow(
+            "workloads measured",
+            paper=float(pv.TABLE4_WORKLOAD_COUNT),
+            measured=float(len(points)),
+        )
+    ]
+    for point in points:
+        workload = point["params"]["workload"]
+        metrics = point["metrics"]
+        rows.append(
+            FigureRow(
+                f"{workload} rows with 64+ ACTs/tREFW",
+                paper=metrics["paper_act_64_plus"],
+                measured=metrics["act_64_plus"],
+                note=(
+                    f"32+: {metrics['act_32_plus']:.0f}"
+                    f"/{metrics['paper_act_32_plus']:.0f}  "
+                    f"128+: {metrics['act_128_plus']:.0f}"
+                    f"/{metrics['paper_act_128_plus']:.0f}"
+                ),
+            )
+        )
+    return rows
+
+
+def _extract_table5(arts: Artifacts) -> List[FigureRow]:
+    rows = []
+    for eth, (mitigations, slowdown) in sorted(pv.TABLE5_ETH.items()):
+        points = _sweep_points(arts, "table5", eth=eth)
+        rows.append(
+            FigureRow(
+                f"mitigations+ALERTs/tREFW/bank @ ETH={eth}",
+                paper=float(mitigations),
+                measured=_avg(points, "mitigations_per_trefw_per_bank"),
+            )
+        )
+        rows.append(
+            FigureRow(
+                f"average slowdown @ ETH={eth}",
+                paper=float(slowdown),
+                measured=_avg(points, "slowdown"),
+            )
+        )
+    return rows
+
+
+def _extract_table6(arts: Artifacts) -> List[FigureRow]:
+    rows = []
+    for rate, slowdown in pv.TABLE6_MITIGATION_RATE.items():
+        points = _sweep_points(arts, "table6", trefi_per_mitigation=rate)
+        label = (
+            "none (ALERT only)" if rate == 0 else f"1 per {rate} tREFI"
+        )
+        rows.append(
+            FigureRow(
+                f"average slowdown, {label}",
+                paper=float(slowdown),
+                measured=_avg(points, "slowdown"),
+            )
+        )
+    return rows
+
+
+def _extract_table7(arts: Artifacts) -> List[FigureRow]:
+    return [
+        FigureRow(
+            f"average slowdown @ ATH={ath}, MOAT-L{level}",
+            paper=float(paper),
+            measured=_avg(
+                _sweep_points(arts, "table7", ath=ath, abo_level=level),
+                "slowdown",
+            ),
+        )
+        for (ath, level), paper in sorted(pv.TABLE7_SLOWDOWN.items())
+    ]
+
+
+def _extract_motivation(arts: Artifacts) -> List[FigureRow]:
+    entries = pv.MOTIVATION_TRACKER_ENTRIES
+    blinded = _attack_point(arts, "motivation", "trespass", num_aggressors=32)
+    caught = _attack_point(arts, "motivation", "trespass", num_aggressors=4)
+    return [
+        FigureRow(
+            f"exposure: 32 aggressors vs {entries} entries",
+            measured=blinded["metrics"]["max_danger"],
+            note="tracker blinded — unbounded exposure",
+        ),
+        FigureRow(
+            f"exposure: 4 aggressors vs {entries} entries",
+            measured=caught["metrics"]["max_danger"],
+            note="tracker keeps up — bounded exposure",
+        ),
+    ]
+
+
+def _extract_sec65(arts: Artifacts) -> List[FigureRow]:
+    rows = []
+    for level in (1, 2, 4):
+        metrics = _model_point(
+            arts, "sec65-storage", "moat-sram", level=level
+        )["metrics"]
+        rows.append(
+            FigureRow(
+                f"MOAT-L{level} SRAM (B/bank)",
+                paper=float(pv.MOAT_SRAM_BYTES_PER_BANK[level]),
+                measured=metrics["bytes_per_bank"],
+            )
+        )
+        rows.append(
+            FigureRow(
+                f"MOAT-L{level} SRAM (B/chip)",
+                paper=float(pv.MOAT_SRAM_BYTES_PER_CHIP[level]),
+                measured=metrics["bytes_per_chip"],
+            )
+        )
+    overhead = _avg(_sweep_points(arts, "sec65"), "activation_overhead")
+    energy = activation_energy_overhead(1_000_000, int(1_000_000 * overhead))
+    rows.append(
+        FigureRow(
+            "activation overhead @ ATH=64",
+            paper=float(pv.MOAT_ACTIVATION_OVERHEAD_ATH64),
+            measured=overhead,
+        )
+    )
+    rows.append(
+        FigureRow(
+            "total DRAM energy overhead",
+            paper=float(pv.MOAT_ENERGY_OVERHEAD_BOUND),
+            measured=energy.total_energy_overhead,
+            note="paper value is an upper bound",
+        )
+    )
+    return rows
+
+
+def _extract_sec71(arts: Artifacts) -> List[FigureRow]:
+    rows = [
+        FigureRow(
+            "ALERT-window throughput (level 1)",
+            paper=float(pv.ALERT_WINDOW_THROUGHPUT_L1),
+            measured=_model_point(
+                arts, "sec71", "throughput-model", level=1
+            )["metrics"]["alert_window_throughput"],
+        )
+    ]
+    for level in (1, 2, 4):
+        metrics = _model_point(
+            arts, "sec71", "throughput-model", level=level
+        )["metrics"]
+        rows.append(
+            FigureRow(
+                f"continuous-ALERT slowdown (level {level})",
+                paper=float(pv.CONTINUOUS_ALERT_SLOWDOWN[level]),
+                measured=metrics["continuous_alert_slowdown"],
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# The registry.
+
+
+def _refs(*pairs: str) -> Tuple[SourceRef, ...]:
+    return tuple(
+        SourceRef(*pair.split(":", 1)) for pair in pairs
+    )
+
+
+FIGURES: Dict[str, FigureSpec] = {
+    spec.name: spec
+    for spec in (
+        FigureSpec(
+            name="fig1",
+            title="Figure 1(a) — In-DRAM tracker design space",
+            section="Section 1",
+            sources=_refs("attack:fig1", "model:fig1-sram"),
+            paper_values=("FIG1_TARGET_TRH",),
+            extract=_extract_fig1,
+        ),
+        FigureSpec(
+            name="motivation",
+            title="Section 2.4 — Low-cost tracker motivation",
+            section="Section 2.4",
+            sources=_refs("attack:motivation"),
+            paper_values=("MOTIVATION_TRACKER_ENTRIES",),
+            extract=_extract_motivation,
+        ),
+        FigureSpec(
+            name="table1",
+            title="Table 1 — DRAM timing parameters",
+            section="Section 2.2",
+            sources=_refs("model:table1"),
+            paper_values=("TABLE1_TIMINGS",),
+            extract=_extract_table1,
+        ),
+        FigureSpec(
+            name="table2",
+            title="Table 2 — Feinting T_RH bound for per-row counters",
+            section="Section 2.5",
+            sources=_refs("attack:table2", "model:table2-bound"),
+            paper_values=("TABLE2_FEINTING",),
+            extract=_extract_table2,
+        ),
+        FigureSpec(
+            name="fig5",
+            title="Figure 5 — Jailbreak vs Panopticon",
+            section="Section 3",
+            sources=_refs("attack:fig5", "model:fig5-curve"),
+            paper_values=(
+                "JAILBREAK_DETERMINISTIC_ACTS",
+                "JAILBREAK_RANDOMIZED_ACTS",
+                "JAILBREAK_QUEUE_THRESHOLD",
+                "JAILBREAK_RANDOMIZED_SUCCESS_PROB",
+            ),
+            extract=_extract_fig5,
+        ),
+        FigureSpec(
+            name="fig8",
+            title="Figure 8 — Minimum ACTs between consecutive ALERTs",
+            section="Section 4",
+            sources=_refs("model:fig8"),
+            paper_values=("FIG8_MIN_ACTS",),
+            extract=_extract_fig8,
+        ),
+        FigureSpec(
+            name="fig9",
+            title="Figure 9 — Ratchet on a 4-row pool at ABO level 4",
+            section="Section 5",
+            sources=_refs("attack:fig9"),
+            paper_values=("FIG9_EXTRA_ACTS",),
+            extract=_extract_fig9,
+        ),
+        FigureSpec(
+            name="fig10",
+            title="Figure 10 — Ratchet exposure and the safe-T_RH bound",
+            section="Section 5.3",
+            sources=_refs("attack:fig10", "model:fig15"),
+            paper_values=("FIG10_SAFE_TRH",),
+            extract=_extract_fig10,
+        ),
+        FigureSpec(
+            name="fig11",
+            title="Figure 11 — MOAT performance and ALERT rate",
+            section="Section 6.2/6.3",
+            sources=_refs("sweep:fig11"),
+            paper_values=(
+                "AVG_SLOWDOWN",
+                "ROMS_SLOWDOWN_ATH64",
+                "AVG_ALERTS_PER_TREFI_ATH64",
+            ),
+            extract=_extract_fig11,
+        ),
+        FigureSpec(
+            name="fig12",
+            title="Figure 12 — TSA throughput loss vs bank count",
+            section="Section 7.3",
+            sources=_refs("attack:fig12"),
+            paper_values=("TSA_LOSS",),
+            extract=_extract_fig12,
+        ),
+        FigureSpec(
+            name="fig13",
+            title="Figure 13 — Performance-attack kernels",
+            section="Section 7.2",
+            sources=_refs("attack:fig13", "model:sec71"),
+            paper_values=("KERNEL_THROUGHPUT_LOSS",),
+            extract=_extract_fig13,
+        ),
+        FigureSpec(
+            name="fig15",
+            title="Figure 15 — Safe T_RH under Ratchet per ABO level",
+            section="Section 8 / Appendix A",
+            sources=_refs("model:fig15"),
+            paper_values=("TABLE7_SAFE_TRH",),
+            extract=_extract_fig15,
+        ),
+        FigureSpec(
+            name="fig16",
+            title="Figure 16 — Refresh postponement vs drain-all "
+            "Panopticon",
+            section="Appendix B",
+            sources=_refs("attack:fig16"),
+            paper_values=(
+                "POSTPONEMENT_ACTS",
+                "POSTPONEMENT_ACTS_PER_TREFI",
+                "POSTPONEMENT_ACTS_BETWEEN_BATCHES",
+            ),
+            extract=_extract_fig16,
+        ),
+        FigureSpec(
+            name="fig17",
+            title="Figure 17 — MOAT at ABO levels 1/2/4",
+            section="Appendix D",
+            sources=_refs("sweep:fig17"),
+            paper_values=("FIG17_SLOWDOWN", "ALERT_RATE_VS_L1"),
+            extract=_extract_fig17,
+        ),
+        FigureSpec(
+            name="table3",
+            title="Table 3 — Baseline system configuration",
+            section="Section 6.1",
+            sources=_refs("model:table3"),
+            paper_values=("TABLE3_SYSTEM",),
+            extract=_extract_table3,
+        ),
+        FigureSpec(
+            name="table4",
+            title="Table 4 — Workload characteristics",
+            section="Section 6.1",
+            sources=_refs("model:table4"),
+            paper_values=("TABLE4_WORKLOAD_COUNT",),
+            extract=_extract_table4,
+        ),
+        FigureSpec(
+            name="table5",
+            title="Table 5 — Impact of ETH at ATH=64",
+            section="Section 6.4",
+            sources=_refs("sweep:table5"),
+            paper_values=("TABLE5_ETH",),
+            extract=_extract_table5,
+        ),
+        FigureSpec(
+            name="table6",
+            title="Table 6 — Impact of the proactive mitigation rate",
+            section="Appendix C",
+            sources=_refs("sweep:table6"),
+            paper_values=("TABLE6_MITIGATION_RATE",),
+            extract=_extract_table6,
+        ),
+        FigureSpec(
+            name="table7",
+            title="Table 7 — ATH x ABO-level slowdown grid",
+            section="Section 8",
+            sources=_refs("sweep:table7"),
+            paper_values=("TABLE7_SLOWDOWN",),
+            extract=_extract_table7,
+        ),
+        FigureSpec(
+            name="sec65",
+            title="Section 6.5 — Storage and energy overheads",
+            section="Section 6.5 / Appendix D",
+            sources=_refs("model:sec65-storage", "sweep:sec65"),
+            paper_values=(
+                "MOAT_SRAM_BYTES_PER_BANK",
+                "MOAT_SRAM_BYTES_PER_CHIP",
+                "MOAT_ACTIVATION_OVERHEAD_ATH64",
+                "MOAT_ENERGY_OVERHEAD_BOUND",
+            ),
+            extract=_extract_sec65,
+        ),
+        FigureSpec(
+            name="sec71",
+            title="Section 7.1 — Throughput under continuous ALERTs",
+            section="Section 7.1 / Appendix D",
+            sources=_refs("model:sec71"),
+            paper_values=(
+                "ALERT_WINDOW_THROUGHPUT_L1",
+                "CONTINUOUS_ALERT_SLOWDOWN",
+            ),
+            extract=_extract_sec71,
+        ),
+    )
+}
+
+
+def figure(name: str) -> FigureSpec:
+    """Look up a registered figure by name with a helpful error."""
+    try:
+        return FIGURES[name]
+    except KeyError:
+        known = ", ".join(sorted(FIGURES))
+        raise KeyError(f"unknown figure {name!r}; known: {known}") from None

@@ -1,13 +1,56 @@
-"""Ground-truth numbers published in the paper, used by the benchmark
-harness to print paper-vs-measured comparisons.
+"""Ground-truth numbers published in the paper.
 
-Every constant cites the table/figure/section it comes from.
+Every constant cites the table/figure/section it comes from, and every
+constant is owned by exactly one entry of the figure registry
+(:data:`repro.report.figures.FIGURES` declares the ownership;
+``tests/report/test_figures.py`` enforces that the partition is exact —
+no orphaned paper values, no figure without one).
 """
 
 from __future__ import annotations
 
+#: Table 1 — revised DDR5 timing parameters (JESD79-5C), keyed by the
+#: ``timing`` model evaluator's metric names.
+TABLE1_TIMINGS = {
+    "t_act_ns": 12,
+    "t_pre_ns": 36,
+    "t_ras_ns": 16,
+    "t_rc_ns": 52,
+    "t_refw_ms": 32,
+    "t_refi_ns": 3900,
+    "t_rfc_ns": 410,
+    "acts_per_trefi": 67,
+    "refs_per_refw": 8192,
+    "mitigations_per_refw_rate5": 1638,
+}
+
 #: Table 2 — Feinting T_RH bound for per-row counters.
 TABLE2_FEINTING = {1: 638, 2: 1188, 3: 1702, 4: 2195, 5: 2669}
+
+#: Table 3 — baseline system configuration, keyed by the
+#: ``system-config`` model evaluator's metric names.
+TABLE3_SYSTEM = {
+    "cores": 8,
+    "core_freq_ghz": 4,
+    "core_width": 4,
+    "rob_entries": 256,
+    "llc_mb": 8,
+    "llc_ways": 16,
+    "line_bytes": 64,
+    "memory_gb": 32,
+    "banks": 32,
+    "subchannels": 2,
+    "ranks": 1,
+    "rows_per_bank": 64 * 1024,
+    "row_kb": 8,
+    "closed_page": 1,
+    "alert_l1_ns": 530,
+}
+
+#: Table 4 — evaluated workload mix (15 SPEC2017 + 6 GAP); the
+#: per-workload ACT-PKI and hot-row columns are transcribed as the
+#: calibration targets in :mod:`repro.workloads.profiles`.
+TABLE4_WORKLOAD_COUNT = 21
 
 #: Table 5 — Impact of ETH (at ATH=64): ETH -> (mitigations+ALERTs per
 #: tREFW per bank, average slowdown).
@@ -28,18 +71,39 @@ TABLE6_MITIGATION_RATE = {
     0: 0.0091,
 }
 
-#: Table 7 — (ATH, level) -> (average slowdown, safe T_RH).
-TABLE7_ATH_LEVEL = {
-    (32, 1): (0.039, 69),
-    (32, 2): (0.056, 56),
-    (32, 4): (0.095, 50),
-    (64, 1): (0.0028, 99),
-    (64, 2): (0.0034, 87),
-    (64, 4): (0.0045, 82),
-    (128, 1): (0.0, 161),
-    (128, 2): (0.0, 150),
-    (128, 4): (0.0, 145),
+#: Table 7 — (ATH, level) -> average slowdown.
+TABLE7_SLOWDOWN = {
+    (32, 1): 0.039,
+    (32, 2): 0.056,
+    (32, 4): 0.095,
+    (64, 1): 0.0028,
+    (64, 2): 0.0034,
+    (64, 4): 0.0045,
+    (128, 1): 0.0,
+    (128, 2): 0.0,
+    (128, 4): 0.0,
 }
+
+#: Table 7 / Figure 15 — (ATH, level) -> safe T_RH under Ratchet.
+TABLE7_SAFE_TRH = {
+    (32, 1): 69,
+    (32, 2): 56,
+    (32, 4): 50,
+    (64, 1): 99,
+    (64, 2): 87,
+    (64, 4): 82,
+    (128, 1): 161,
+    (128, 2): 150,
+    (128, 4): 145,
+}
+
+#: Figure 1(a) — the design-space quadrant is drawn at T_RH ~ 99 (the
+#: MOAT ATH=64 operating point).
+FIG1_TARGET_TRH = 99
+
+#: Section 2.4 — tracker capacity assumed by the motivation argument
+#: (a many-aggressor pattern with more rows than entries blinds it).
+MOTIVATION_TRACKER_ENTRIES = 16
 
 #: Section 3.2 / Figure 5 — Jailbreak against threshold-128 Panopticon.
 JAILBREAK_DETERMINISTIC_ACTS = 1152

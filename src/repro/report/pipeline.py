@@ -1,0 +1,404 @@
+"""The paper-report pipeline: registry -> cached artifacts -> report.
+
+Orchestrates the figure registry (:mod:`repro.report.figures`) over the
+three sweep families. For each requested figure it resolves the source
+presets, executes them through the shared ``run_cached_grid`` cache/pool
+core (one artifact per preset per run, shared between figures that
+reference the same preset), applies the figure's extraction, and
+assembles a :class:`FigureResult`.
+
+A report run renders two forms: plain-text/markdown tables for humans
+and a machine-readable ``BENCH_report.json`` (schema
+:data:`REPORT_SCHEMA`) whose rows carry per-figure relative deltas
+against the paper values. ``check`` mode gates every source artifact
+against its committed smoke baseline — the same files the ``repro
+sweep``/``repro attack sweep`` gates use, plus ``model_<preset>.json``
+for the analytic family — so paper-report drift fails CI exactly like
+any other sweep regression.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.report.figures import FIGURES, FigureSpec, SourceRef, figure
+from repro.report.tables import format_table
+from repro.sweep.artifacts import (
+    ATTACK_GATED_METRICS,
+    ATTACK_SCHEMA,
+    BASELINE_DIR,
+    DEFAULT_ATOL,
+    DEFAULT_RTOL,
+    GATED_METRICS,
+    MODEL_GATED_METRICS,
+    MODEL_SCHEMA,
+    SCHEMA,
+    check_against_baseline,
+    default_baseline_path,
+    git_revision,
+    git_toplevel,
+    utc_now,
+    write_artifact,
+)
+from repro.sweep.attack_runner import run_attack_sweep
+from repro.sweep.attack_spec import attack_preset
+from repro.sweep.model_runner import run_model_sweep
+from repro.sweep.model_spec import model_preset
+from repro.sweep.runner import ProgressFn, run_sweep
+from repro.sweep.spec import preset as sweep_preset
+
+#: Schema of the machine-readable report artifact.
+REPORT_SCHEMA = "repro.report/v1"
+
+#: Smoke scale: the window length the committed perf baselines were
+#: generated at, and therefore the default of ``repro report --check``.
+SMOKE_N_TREFI = 512
+
+
+@dataclass(frozen=True)
+class ReportOptions:
+    """Scale and orchestration knobs of one report run."""
+
+    #: Window length for the perf sweeps and scale-aware model points.
+    n_trefi: int = SMOKE_N_TREFI
+    jobs: int = 1
+    #: Root of the per-family point caches (``<root>/{sweep,attack,
+    #: model}``); ``None`` disables caching.
+    cache_root: Optional[Path] = Path(".repro-cache")
+    #: Optional workload subset (REPRO_FAST benchmarks); ``None`` runs
+    #: each preset's full workload list.
+    workloads: Optional[Tuple[str, ...]] = None
+    progress: Optional[ProgressFn] = None
+
+    def cache_dir(self, family: str) -> Optional[Path]:
+        if self.cache_root is None:
+            return None
+        return Path(self.cache_root) / family
+
+
+@dataclass
+class FigureResult:
+    """One rendered figure: its source artifacts and extracted rows."""
+
+    spec: FigureSpec
+    artifacts: Dict[str, Dict]
+    rows: List
+    #: Baseline-gate findings (empty when unchecked or passing).
+    problems: List[str] = field(default_factory=list)
+    checked: bool = False
+
+    @property
+    def max_abs_rel_delta(self) -> Optional[float]:
+        """Largest |relative paper-vs-measured drift| across rows."""
+        deltas = [
+            abs(row.rel_delta)
+            for row in self.rows
+            if row.rel_delta is not None
+        ]
+        return max(deltas) if deltas else None
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _run_sweep_source(ref: SourceRef, options: ReportOptions) -> Dict:
+    from repro.sweep.artifacts import make_artifact
+
+    spec = sweep_preset(ref.preset).with_overrides(
+        n_trefi=options.n_trefi, workloads=options.workloads
+    )
+    result = run_sweep(
+        spec,
+        jobs=options.jobs,
+        cache_dir=options.cache_dir("sweep"),
+        progress=options.progress,
+    )
+    return make_artifact(result)
+
+
+def _run_attack_source(ref: SourceRef, options: ReportOptions) -> Dict:
+    from repro.sweep.artifacts import make_attack_artifact
+
+    result = run_attack_sweep(
+        attack_preset(ref.preset),
+        jobs=options.jobs,
+        cache_dir=options.cache_dir("attack"),
+        progress=options.progress,
+    )
+    return make_attack_artifact(result)
+
+
+def _run_model_source(ref: SourceRef, options: ReportOptions) -> Dict:
+    from repro.sweep.artifacts import make_model_artifact
+
+    spec = model_preset(ref.preset).with_overrides(n_trefi=options.n_trefi)
+    if options.workloads is not None:
+        spec = dataclasses.replace(
+            spec,
+            models=tuple(
+                m
+                for m in spec.models
+                if m.kind != "workload-stats"
+                or m.param_dict().get("workload") in options.workloads
+            ),
+        )
+    result = run_model_sweep(
+        spec,
+        jobs=options.jobs,
+        cache_dir=options.cache_dir("model"),
+        progress=options.progress,
+    )
+    return make_model_artifact(result)
+
+
+#: family -> (source runner, baseline file stem, schema, gated metrics).
+_FAMILIES = {
+    "sweep": (_run_sweep_source, "{0}", SCHEMA, GATED_METRICS),
+    "attack": (_run_attack_source, "attack_{0}", ATTACK_SCHEMA,
+               ATTACK_GATED_METRICS),
+    "model": (_run_model_source, "model_{0}", MODEL_SCHEMA,
+              MODEL_GATED_METRICS),
+}
+
+
+def baseline_name(ref: SourceRef) -> str:
+    """Stem of the committed baseline file for one source preset."""
+    return _FAMILIES[ref.family][1].format(ref.preset)
+
+
+def resolve_baseline_path(
+    ref: SourceRef, root: Optional[Path] = None
+) -> Path:
+    """Committed-baseline location of a source, CWD- then repo-anchored."""
+    if root is not None:
+        return default_baseline_path(baseline_name(ref), root=root)
+    path = default_baseline_path(baseline_name(ref))
+    if not path.is_file():
+        toplevel = git_toplevel()
+        if toplevel is not None:
+            return default_baseline_path(baseline_name(ref), root=toplevel)
+    return path
+
+
+def run_figures(
+    names: Iterable[str],
+    options: ReportOptions = ReportOptions(),
+) -> List[FigureResult]:
+    """Run the named figures, sharing source artifacts between them.
+
+    Source presets are executed at most once per call (a preset shared
+    by two figures — e.g. ``model:fig15`` feeding both fig10 and fig15
+    — produces one artifact), and every underlying point additionally
+    hits the on-disk cache shared with the ``repro sweep`` /
+    ``repro attack sweep`` CLIs and the benchmark harness.
+    """
+    produced: Dict[str, Dict] = {}
+    results: List[FigureResult] = []
+    for name in names:
+        spec = figure(name)
+        artifacts: Dict[str, Dict] = {}
+        for ref in spec.sources:
+            if ref.key not in produced:
+                runner = _FAMILIES[ref.family][0]
+                produced[ref.key] = runner(ref, options)
+            artifacts[ref.key] = produced[ref.key]
+        results.append(
+            FigureResult(
+                spec=spec, artifacts=artifacts, rows=spec.extract(artifacts)
+            )
+        )
+    return results
+
+
+def run_figure(
+    name: str, options: ReportOptions = ReportOptions()
+) -> FigureResult:
+    """Run a single registered figure (benchmark-harness entry point)."""
+    return run_figures([name], options)[0]
+
+
+def check_results(
+    results: Iterable[FigureResult],
+    baseline_root: Optional[Path] = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> List[FigureResult]:
+    """Gate every distinct source artifact against its baseline.
+
+    Each source preset is read and diffed exactly once per call, no
+    matter how many figures reference it (mirroring how
+    :func:`run_figures` produces shared artifacts once); every figure
+    depending on a drifted source still carries the findings, since
+    none of its rows can be trusted. Mutates (and returns) the results:
+    ``problems`` collects one line per finding, prefixed with the
+    source key.
+    """
+    results = list(results)
+    findings_by_source: Dict[str, List[str]] = {}
+    for result in results:
+        problems: List[str] = []
+        for ref in result.spec.sources:
+            if ref.key not in findings_by_source:
+                _, _, schema, gated = _FAMILIES[ref.family]
+                path = resolve_baseline_path(ref, root=baseline_root)
+                ok, findings = check_against_baseline(
+                    result.artifacts[ref.key],
+                    path,
+                    rtol=rtol,
+                    atol=atol,
+                    schema=schema,
+                    gated_metrics=gated,
+                )
+                findings_by_source[ref.key] = (
+                    [] if ok else [f"{ref.key}: {f}" for f in findings]
+                )
+            problems.extend(findings_by_source[ref.key])
+        result.problems = problems
+        result.checked = True
+    return results
+
+
+def check_result(
+    result: FigureResult,
+    baseline_root: Optional[Path] = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> FigureResult:
+    """Single-figure convenience wrapper around :func:`check_results`."""
+    return check_results(
+        [result], baseline_root=baseline_root, rtol=rtol, atol=atol
+    )[0]
+
+
+def write_baselines(
+    results: Iterable[FigureResult], root: Optional[Path] = None
+) -> List[Path]:
+    """Write every distinct source artifact as its committed baseline.
+
+    With no explicit ``root`` the write anchors exactly like the check
+    path resolves (CWD when it already holds ``benchmarks/baselines/``,
+    otherwise the repro checkout), so regenerating from any working
+    directory updates the same files ``--check`` will read.
+    """
+    if root is None:
+        root = Path(".")
+        if not (root / BASELINE_DIR).is_dir():
+            root = git_toplevel() or root
+    written: Dict[str, Path] = {}
+    for result in results:
+        for ref in result.spec.sources:
+            if ref.key in written:
+                continue
+            path = default_baseline_path(baseline_name(ref), root=root)
+            write_artifact(path, result.artifacts[ref.key])
+            written[ref.key] = path
+    return list(written.values())
+
+
+# ---------------------------------------------------------------------------
+# Rendering.
+
+
+def _delta_cell(row) -> str:
+    delta = row.rel_delta
+    return f"{delta:+.1%}" if delta is not None else ""
+
+
+def render_figure_text(result: FigureResult) -> str:
+    """Fixed-width paper-vs-measured table for one figure."""
+    rows = [
+        (row.label, row.paper, row.measured, _delta_cell(row), row.note)
+        for row in result.rows
+    ]
+    return format_table(
+        ["quantity", "paper", "measured", "delta", "note"],
+        rows,
+        title=f"{result.spec.title} [{result.spec.name}]",
+    )
+
+
+def render_markdown(results: Iterable[FigureResult]) -> str:
+    """Full markdown report (the CI build artifact)."""
+    lines = [
+        "# Paper reproduction report",
+        "",
+        f"Generated {utc_now()} at `{git_revision()}`.",
+        "",
+    ]
+    for result in results:
+        spec = result.spec
+        lines.append(f"## {spec.title}")
+        lines.append("")
+        sources = ", ".join(f"`{key}`" for key in spec.source_keys())
+        lines.append(f"*{spec.section}* — sources: {sources}")
+        if result.checked:
+            status = "passed" if result.ok else "**FAILED**"
+            lines.append(f"Baseline gate: {status}.")
+        lines.append("")
+        lines.append("| quantity | paper | measured | delta | note |")
+        lines.append("| --- | ---: | ---: | ---: | --- |")
+        for row in result.rows:
+            paper = "—" if row.paper is None else f"{row.paper:g}"
+            measured = (
+                "—" if row.measured is None else f"{row.measured:g}"
+            )
+            lines.append(
+                f"| {row.label} | {paper} | {measured} "
+                f"| {_delta_cell(row)} | {row.note} |"
+            )
+        lines.append("")
+        for problem in result.problems:
+            lines.append(f"- GATE: {problem}")
+        if result.problems:
+            lines.append("")
+    return "\n".join(lines)
+
+
+def make_report_artifact(
+    results: Iterable[FigureResult],
+    options: ReportOptions = ReportOptions(),
+) -> Dict:
+    """Machine-readable report (schema :data:`REPORT_SCHEMA`)."""
+    figures: Dict[str, Dict] = {}
+    for result in results:
+        spec = result.spec
+        figures[spec.name] = {
+            "title": spec.title,
+            "section": spec.section,
+            "sources": {
+                key: {
+                    "sweep_hash": result.artifacts[key].get("sweep_hash"),
+                    "cache_hits": result.artifacts[key].get("cache_hits"),
+                    "compute_time_s": result.artifacts[key].get(
+                        "compute_time_s"
+                    ),
+                }
+                for key in spec.source_keys()
+            },
+            "rows": [
+                {
+                    "label": row.label,
+                    "paper": row.paper,
+                    "measured": row.measured,
+                    "rel_delta": row.rel_delta,
+                    "note": row.note,
+                }
+                for row in result.rows
+            ],
+            "max_abs_rel_delta": result.max_abs_rel_delta,
+            "checked": result.checked,
+            "ok": result.ok,
+            "problems": list(result.problems),
+        }
+    return {
+        "schema": REPORT_SCHEMA,
+        "git_rev": git_revision(),
+        "created_utc": utc_now(),
+        "n_trefi": options.n_trefi,
+        "jobs": options.jobs,
+        "figures": figures,
+    }

@@ -6,6 +6,7 @@ the formatting consistent and dependency-free.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence
 
 
@@ -50,13 +51,22 @@ def paper_vs_measured(
 
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
+        # Non-finite values are "no data", not numbers: rendering
+        # "nan"/"inf" mid-table reads like a measurement.
+        if not math.isfinite(cell):
+            return "—"
         if cell == 0:
             return "0"
-        if abs(cell) < 0.01:
+        # Precision keys off the magnitude so negative values get the
+        # same treatment as their positive counterparts.
+        magnitude = abs(cell)
+        if magnitude < 0.01:
             return f"{cell:.4f}"
-        if abs(cell) < 1:
+        if magnitude < 1:
             return f"{cell:.3f}"
-        return f"{cell:,.1f}" if cell % 1 else f"{int(cell):,}"
+        return f"{cell:,.1f}" if magnitude % 1 else f"{int(cell):,}"
     if isinstance(cell, int):
         return f"{cell:,}"
+    if cell is None:
+        return "—"
     return str(cell)

@@ -54,6 +54,9 @@ SCHEMA = "repro.sweep/v1"
 #: Schema of ``BENCH_attack.json`` artifacts (attack sweeps).
 ATTACK_SCHEMA = "repro.attack/v1"
 
+#: Schema of ``BENCH_model.json`` artifacts (analytic model sweeps).
+MODEL_SCHEMA = "repro.model/v1"
+
 #: Default relative location of committed baselines.
 BASELINE_DIR = Path("benchmarks") / "baselines"
 
@@ -70,6 +73,11 @@ GATED_METRICS = (
     "proactive_mitigations",
     "reactive_mitigations",
 )
+
+#: Model artifacts gate on ``None``: every metric recorded in the
+#: baseline is checked (the evaluators are pure functions, so any
+#: metric they emit is a stable, gateable quantity).
+MODEL_GATED_METRICS = None
 
 #: Gated metrics of attack artifacts. Everything a deterministic
 #: attack reports is gateable; per-attack ``detail:`` metrics missing
@@ -162,6 +170,15 @@ def make_artifact(result: SweepResult, git_rev: Optional[str] = None) -> Dict:
                 "config_hash": r.config_hash,
                 "workload": r.workload,
                 "policy": r.policy,
+                # Resolved grid coordinates, so consumers (the report
+                # extractions) can select points by axis value instead
+                # of parsing key strings. Additive relative to the
+                # committed baselines: the diff only compares config
+                # hashes and metrics.
+                "ath": r.ath,
+                "eth": r.eth,
+                "abo_level": r.abo_level,
+                "trefi_per_mitigation": r.trefi_per_mitigation,
                 # Copy: callers may mutate artifacts (baseline editing)
                 # without corrupting the live result objects.
                 "metrics": dict(r.metrics),
@@ -200,6 +217,42 @@ def make_attack_artifact(result, git_rev: Optional[str] = None) -> Dict:
                 "kind": r.kind,
                 "figure": r.figure,
                 "subchannels": r.subchannels,
+                # Attack parameters by name (report extractions select
+                # points on these instead of parsing display names).
+                "params": dict(r.params),
+                "metrics": dict(r.metrics),
+                "wall_clock_s": round(r.wall_clock_s, 3),
+            }
+            for r in result.results
+        },
+    }
+
+
+def make_model_artifact(result, git_rev: Optional[str] = None) -> Dict:
+    """Serialize a model sweep into the ``BENCH_model.json`` schema.
+
+    Same layout as :func:`make_artifact` for the analytic family; model
+    points are scale-free (no ``n_trefi``/``seed`` at the top level —
+    scale-aware kinds carry their window length as a point parameter).
+    """
+    spec = result.spec
+    return {
+        "schema": MODEL_SCHEMA,
+        "preset": spec.name,
+        "description": spec.description,
+        "sweep_hash": spec.sweep_hash(),
+        "git_rev": git_revision() if git_rev is None else git_rev,
+        "created_utc": utc_now(),
+        "jobs": result.jobs,
+        "wall_clock_s": round(result.wall_clock_s, 3),
+        "compute_time_s": round(result.compute_time_s, 3),
+        "cache_hits": result.cache_hits,
+        "aggregates": result.aggregates(),
+        "points": {
+            r.key: {
+                "config_hash": r.config_hash,
+                "kind": r.kind,
+                "params": dict(r.params),
                 "metrics": dict(r.metrics),
                 "wall_clock_s": round(r.wall_clock_s, 3),
             }
@@ -235,13 +288,14 @@ def diff_artifacts(
     current: Dict,
     rtol: float = DEFAULT_RTOL,
     atol: float = DEFAULT_ATOL,
-    gated_metrics: Tuple[str, ...] = GATED_METRICS,
+    gated_metrics: Optional[Tuple[str, ...]] = GATED_METRICS,
 ) -> List[str]:
     """Compare ``current`` against ``baseline``; returns problems.
 
     An empty list means the run matches the baseline. Problems are
     human-readable strings: missing points, config-hash drift, or
-    out-of-tolerance metrics.
+    out-of-tolerance metrics. ``gated_metrics=None`` gates every metric
+    recorded in the baseline point (the model-family convention).
     """
     problems: List[str] = []
     base_points = baseline.get("points", {})
@@ -269,7 +323,11 @@ def diff_artifacts(
                 "generator semantics changed; regenerate the baseline)"
             )
             continue
-        for metric in gated_metrics:
+        metrics_to_gate = (
+            tuple(base.get("metrics", {})) if gated_metrics is None
+            else gated_metrics
+        )
+        for metric in metrics_to_gate:
             if metric not in base.get("metrics", {}):
                 continue
             got_raw = point.get("metrics", {}).get(metric)
@@ -307,7 +365,7 @@ def check_against_baseline(
     rtol: float = DEFAULT_RTOL,
     atol: float = DEFAULT_ATOL,
     schema: str = SCHEMA,
-    gated_metrics: Tuple[str, ...] = GATED_METRICS,
+    gated_metrics: Optional[Tuple[str, ...]] = GATED_METRICS,
 ) -> Tuple[bool, List[str]]:
     """Gate an already-serialized sweep artifact on a baseline file.
 

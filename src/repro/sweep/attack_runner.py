@@ -34,6 +34,7 @@ class AttackPointResult:
     figure: str
     subchannels: int
     seed: int
+    params: Dict[str, object]
     metrics: Dict[str, float]
     wall_clock_s: float
     cached: bool = False
@@ -47,6 +48,7 @@ class AttackPointResult:
             "figure": self.figure,
             "subchannels": self.subchannels,
             "seed": self.seed,
+            "params": self.params,
             "metrics": self.metrics,
             "wall_clock_s": self.wall_clock_s,
         }
@@ -55,6 +57,9 @@ class AttackPointResult:
     def from_json(
         data: Dict[str, object], cached: bool = False
     ) -> "AttackPointResult":
+        # ``params`` is required: pre-params cache entries raise
+        # KeyError here, which the cache loader treats as a miss — one
+        # recompute upgrades the entry in place.
         return AttackPointResult(
             key=str(data["key"]),
             config_hash=str(data["config_hash"]),
@@ -63,6 +68,7 @@ class AttackPointResult:
             figure=str(data["figure"]),
             subchannels=int(data["subchannels"]),
             seed=int(data["seed"]),
+            params=dict(data["params"]),
             metrics={k: float(v) for k, v in dict(data["metrics"]).items()},
             wall_clock_s=float(data["wall_clock_s"]),
             cached=cached,
@@ -122,6 +128,7 @@ def execute_attack_point(point: AttackSweepPoint) -> AttackPointResult:
         figure=point.attack.figure,
         subchannels=point.run.subchannels,
         seed=point.run.seed,
+        params=point.attack.param_dict(),
         metrics=result.as_metrics(),
         wall_clock_s=time.perf_counter() - started,
     )

@@ -10,8 +10,13 @@ a content hash — the identity used by the parallel runner's point cache
 and by the ``BENCH_attack.json`` baseline gate.
 
 :data:`ATTACK_PRESETS` names a spec for every paper security figure the
-harness reproduces: Jailbreak (fig5), Ratchet (fig10), the throughput
-kernels (fig13), TSA, feinting, and refresh postponement.
+harness reproduces: Jailbreak (fig5), Ratchet (fig9/fig10), the
+throughput kernels (fig13), TSA (fig12, with the smoke-scale ``tsa``
+subset), feinting (table2, with the smoke-scale ``feinting`` subset),
+refresh postponement (fig16/``postponement``), the Figure 1(a) design
+space, the Section 2.4 motivation, and the Section 9 queue-length
+ablation. Presets overlap freely: points are cached by config hash, so
+a point shared between two presets is simulated once.
 """
 
 from __future__ import annotations
@@ -133,21 +138,98 @@ ATTACK_PRESETS: Dict[str, AttackSweepSpec] = {
         AttackSweepSpec(
             name="fig5",
             description="Deterministic Jailbreak vs Panopticon at "
-            "queueing thresholds 64/128 (Figure 5)",
+            "queueing thresholds 64/128, plus one fully-simulated "
+            "all-heavy randomized iteration (Figure 5)",
             attacks=(
                 AttackSpec.of("jailbreak", threshold=64),
                 AttackSpec.of("jailbreak", threshold=128),
+                AttackSpec.of("jailbreak-randomized",
+                              initial_counters=(112,) * 8,
+                              attack_row_counter=96),
             ),
         ),
         AttackSweepSpec(
             name="fig10",
             description="Ratchet vs MOAT: pool-size growth at ATH=64, "
-            "plus the generalized L4 tracker (Figure 10)",
+            "the ATH sweep at pool 64, and the generalized L4 tracker "
+            "(Figure 10)",
             attacks=(
                 AttackSpec.of("ratchet", ath=64, pool_size=4),
                 AttackSpec.of("ratchet", ath=64, pool_size=16),
                 AttackSpec.of("ratchet", ath=64, pool_size=64),
                 AttackSpec.of("ratchet", ath=64, pool_size=8, abo_level=4),
+                AttackSpec.of("ratchet", ath=32, pool_size=64),
+                AttackSpec.of("ratchet", ath=128, pool_size=64),
+            ),
+        ),
+        AttackSweepSpec(
+            name="fig1",
+            description="Figure 1(a) design-space exposures at "
+            "T_RH ~ 99: TRR thrashing, Jailbreak vs Panopticon, "
+            "Ratchet vs MOAT",
+            attacks=(
+                AttackSpec.of("trespass", num_aggressors=32,
+                              tracker_entries=16, acts_per_aggressor=600),
+                AttackSpec.of("jailbreak", threshold=128),
+                AttackSpec.of("ratchet", ath=64, pool_size=64),
+            ),
+        ),
+        AttackSweepSpec(
+            name="fig9",
+            description="Illustrative Ratchet on a 4-row pool at ABO "
+            "level 4 with a single-entry tracker (Figure 9)",
+            attacks=(
+                AttackSpec.of("ratchet", ath=64, pool_size=4,
+                              abo_level=4, tracker_level=1),
+            ),
+        ),
+        AttackSweepSpec(
+            name="fig12",
+            description="TSA throughput loss vs bank count up to the "
+            "tFAW-limited 17 banks (Figure 12)",
+            attacks=tuple(
+                AttackSpec.of("tsa", num_banks=banks, cycles=2)
+                for banks in (1, 4, 8, 17)
+            ),
+        ),
+        AttackSweepSpec(
+            name="fig16",
+            description="REF postponement vs drain-all Panopticon "
+            "across queueing thresholds (Figure 16 / Appendix B)",
+            attacks=tuple(
+                AttackSpec.of("postponement", threshold=threshold)
+                for threshold in (64, 128, 256)
+            ),
+        ),
+        AttackSweepSpec(
+            name="motivation",
+            description="Section 2.4 motivation: many-aggressor "
+            "thrashing blinds a 16-entry tracker; fewer aggressors "
+            "than entries are caught",
+            attacks=(
+                AttackSpec.of("trespass", num_aggressors=32,
+                              tracker_entries=16, acts_per_aggressor=600),
+                AttackSpec.of("trespass", num_aggressors=4,
+                              tracker_entries=16, acts_per_aggressor=600),
+            ),
+        ),
+        AttackSweepSpec(
+            name="table2",
+            description="Feinting vs ideal per-row counters at rates "
+            "1-5 over a 512-period prefix (Table 2)",
+            attacks=tuple(
+                AttackSpec.of("feinting", trefi_per_mitigation=k,
+                              periods=512)
+                for k in (1, 2, 3, 4, 5)
+            ),
+        ),
+        AttackSweepSpec(
+            name="ablation-queue",
+            description="Jailbreak exposure vs Panopticon queue length "
+            "(Section 9, Recommendation 1)",
+            attacks=tuple(
+                AttackSpec.of("jailbreak", queue_entries=entries)
+                for entries in (1, 2, 4, 8, 16)
             ),
         ),
         AttackSweepSpec(

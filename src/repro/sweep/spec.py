@@ -258,6 +258,12 @@ PRESETS: Dict[str, SweepSpec] = {
             policies=ABLATION_POLICIES,
         ),
         SweepSpec(
+            name="sec65",
+            description="MOAT at ATH=64 on the sweep subset: the "
+            "activation-overhead source for the Section 6.5 energy "
+            "numbers",
+        ),
+        SweepSpec(
             name="channel",
             description="Channel-hierarchy scaling: the sweep subset "
             "through ChannelSim at 1 and 2 sub-channels",

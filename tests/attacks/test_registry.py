@@ -16,13 +16,26 @@ from repro.sim.attack_perf import run_attack
 class TestAttackSpec:
     def test_known_kinds(self):
         assert set(attack_kinds()) == {
-            "jailbreak", "ratchet", "feinting", "postponement",
-            "tsa", "kernel-single", "kernel-multi", "trespass",
+            "jailbreak", "jailbreak-randomized", "ratchet", "feinting",
+            "postponement", "tsa", "kernel-single", "kernel-multi",
+            "trespass",
         }
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown attack kind"):
             AttackSpec("rowpress")
+
+    def test_missing_required_params_rejected_at_construction(self):
+        """Runners with non-defaulted parameters fail as a clean
+        ValueError at spec time, not a TypeError inside execute()."""
+        with pytest.raises(ValueError, match="requires parameters"):
+            AttackSpec("jailbreak-randomized")
+        spec = AttackSpec.of(
+            "jailbreak-randomized",
+            initial_counters=(112,) * 8,
+            attack_row_counter=96,
+        )
+        assert spec.param_dict()["attack_row_counter"] == 96
 
     def test_unknown_param_rejected_at_construction(self):
         with pytest.raises(ValueError, match="no parameter"):

@@ -104,7 +104,9 @@ class TestConfigHash:
 class TestPresets:
     def test_every_security_figure_has_a_preset(self):
         assert set(ATTACK_PRESETS) == {
-            "fig5", "fig10", "fig13", "tsa", "feinting", "postponement"
+            "fig1", "fig5", "fig9", "fig10", "fig12", "fig13", "fig16",
+            "tsa", "feinting", "postponement", "motivation", "table2",
+            "ablation-queue",
         }
 
     def test_presets_expand(self):

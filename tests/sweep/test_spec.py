@@ -24,6 +24,7 @@ class TestPresets:
             "table7",
             "ablation",
             "channel",
+            "sec65",
         }
 
     def test_fig11_grid_shape(self):

@@ -83,6 +83,39 @@ class TestAttackRun:
                      "--set", "pool_size=abc"]) == 2
         assert "integer" in capsys.readouterr().err
 
+    def test_jailbreak_randomized_runs_with_cli_defaults(self, capsys):
+        """The CLI supplies the paper's all-heavy iteration for the
+        counter-state parameters the library leaves mandatory."""
+        assert main(["attack", "run", "jailbreak-randomized"]) == 0
+        assert "ACTs on attack row" in capsys.readouterr().out
+
+    def test_set_accepts_tuple_values(self, capsys):
+        counters = ",".join(["64"] * 8)
+        assert main(["attack", "run", "jailbreak-randomized",
+                     "--set", f"initial_counters={counters}"]) == 0
+        capsys.readouterr()
+
+    def test_set_coerces_integral_floats_in_tuples_like_scalars(
+        self, capsys
+    ):
+        counters = ",".join(["64.0"] * 8)
+        assert main(["attack", "run", "jailbreak-randomized",
+                     "--set", f"initial_counters={counters}",
+                     "--set", "attack_row_counter=96.0"]) == 0
+        capsys.readouterr()
+
+    def test_set_rejects_non_integer_tuple(self, capsys):
+        assert main(["attack", "run", "jailbreak-randomized",
+                     "--set", "initial_counters=a,b"]) == 2
+        assert "integer" in capsys.readouterr().err
+
+    def test_set_rejects_tuple_for_scalar_param(self, capsys):
+        """A comma value for a scalar parameter is a clean error, not
+        a TypeError traceback inside the attack."""
+        assert main(["attack", "run", "ratchet",
+                     "--set", "pool_size=4,8"]) == 2
+        assert "single value" in capsys.readouterr().err
+
 
 class TestAttackSweep:
     def test_list_presets_matches_registry(self, capsys):

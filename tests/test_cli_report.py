@@ -1,0 +1,102 @@
+"""Tests for the ``repro report`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.report.figures import FIGURES
+
+
+def run_report_cli(tmp_path, *extra, action="run", figures=("fig8",)):
+    argv = ["report", action, *figures,
+            "--quiet", "--jobs", "1", "--no-cache",
+            "--out", str(tmp_path / "BENCH_report.json"),
+            "--md", str(tmp_path / "BENCH_report.md"),
+            *extra]
+    return main(argv)
+
+
+class TestParser:
+    def test_report_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["report", "run", "fig8"])
+        assert args.figures == ["fig8"]
+        assert args.trefi == 512
+        assert not args.check
+
+    def test_check_and_write_baselines_mutually_exclusive(self):
+        """Combining the gate with baseline regeneration would let a
+        drifted run overwrite its own baselines and pass."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["report", "all", "--check", "--write-baselines"]
+            )
+
+
+class TestList:
+    def test_lists_every_registered_figure(self, capsys):
+        assert main(["report", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+
+class TestRun:
+    def test_unknown_figure_rejected(self, tmp_path, capsys):
+        assert run_report_cli(tmp_path, figures=("fig99",)) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_no_figures_rejected(self, tmp_path, capsys):
+        assert run_report_cli(tmp_path, figures=()) == 2
+        assert "at least one figure" in capsys.readouterr().err
+
+    def test_bad_trefi_rejected(self, tmp_path, capsys):
+        assert run_report_cli(tmp_path, "--trefi", "0") == 2
+        assert "--trefi" in capsys.readouterr().err
+
+    def test_renders_tables_and_artifacts(self, tmp_path, capsys):
+        assert run_report_cli(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        artifact = json.loads((tmp_path / "BENCH_report.json").read_text())
+        assert artifact["schema"] == "repro.report/v1"
+        assert "fig8" in artifact["figures"]
+        markdown = (tmp_path / "BENCH_report.md").read_text()
+        assert "# Paper reproduction report" in markdown
+
+
+class TestGate:
+    def test_write_then_check_round_trips(self, tmp_path):
+        root = tmp_path / "repo"
+        assert run_report_cli(
+            tmp_path, "--write-baselines", "--baseline-root", str(root)
+        ) == 0
+        assert (root / "benchmarks" / "baselines" / "model_fig8.json").is_file()
+        assert run_report_cli(
+            tmp_path, "--check", "--baseline-root", str(root)
+        ) == 0
+
+    def test_drifted_baseline_fails_the_gate(self, tmp_path, capsys):
+        root = tmp_path / "repo"
+        run_report_cli(
+            tmp_path, "--write-baselines", "--baseline-root", str(root)
+        )
+        path = root / "benchmarks" / "baselines" / "model_fig8.json"
+        baseline = json.loads(path.read_text())
+        point = next(iter(baseline["points"].values()))
+        point["metrics"]["min_acts_between_alerts"] += 2.0
+        path.write_text(json.dumps(baseline))
+        assert run_report_cli(
+            tmp_path, "--check", "--baseline-root", str(root)
+        ) == 1
+        assert "REPORT BASELINE CHECK FAILED" in capsys.readouterr().err
+
+    def test_missing_baseline_fails_the_gate(self, tmp_path, capsys):
+        assert run_report_cli(
+            tmp_path, "--check", "--baseline-root", str(tmp_path / "empty")
+        ) == 1
+        assert "baseline not found" in capsys.readouterr().err
