@@ -1,0 +1,73 @@
+"""Memory-controller hot-path microbenchmark.
+
+Times the closed-loop subsystem end to end — request generation,
+queueing, FR-FCFS scheduling, and engine service — and records
+requests/second plus the measured p99 read latency into
+``results/summary.json``, so the BENCH trajectory captures the new
+subsystem's speed (and its headline latency metric) from day one.
+
+Like ``test_engine_hotpath.py``, this deliberately bypasses the
+artifact caches: it *measures* the subsystem, so replaying a cached
+number would defeat the purpose. The throughput floor is generous —
+it exists to catch a catastrophic hot-path regression (an accidental
+per-request re-scan, quadratic queue walk, etc.), not scheduler noise.
+"""
+
+import time
+
+from benchmarks.conftest import FAST
+from repro.report.tables import format_table
+from repro.sim.mc import McRunConfig, run_mc
+from repro.sweep.mc_spec import HAMMER_WORKLOAD
+
+N_TREFI = 512 if FAST else 1024
+ROUNDS = 3
+#: Catastrophe floor, far below the ~80k req/s a laptop core sustains.
+REQUIRED_REQUESTS_PER_S = 2000.0
+
+
+def test_mc_hotpath_throughput(report, record_json):
+    config = McRunConfig(
+        ath=32, workload=HAMMER_WORKLOAD, banks=4, n_trefi=N_TREFI
+    )
+
+    best_s = None
+    result = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = run_mc(config)
+        elapsed = time.perf_counter() - started
+        if best_s is None or elapsed < best_s:
+            best_s = elapsed
+    requests_per_s = result.requests / best_s
+    us_per_request = best_s / result.requests * 1e6
+
+    report(
+        format_table(
+            ["metric", "value"],
+            [
+                ("requests served", f"{result.requests:,}"),
+                ("requests / second", f"{requests_per_s:,.0f}"),
+                ("us / request", f"{us_per_request:.2f}"),
+                ("read p99 (ns, simulated)", f"{result.read_p99_ns:.1f}"),
+                ("ALERTs / tREFI", f"{result.alerts_per_trefi:.3f}"),
+            ],
+            title="MC hot path - closed-loop requests through FR-FCFS",
+        )
+    )
+    record_json(
+        {
+            "requests": result.requests,
+            "requests_per_s": requests_per_s,
+            "us_per_request": us_per_request,
+            "read_p99_ns": result.read_p99_ns,
+            "alerts_per_trefi": result.alerts_per_trefi,
+            "n_trefi": N_TREFI,
+            "required_requests_per_s": REQUIRED_REQUESTS_PER_S,
+        },
+        key="mc_hotpath",
+    )
+    assert requests_per_s >= REQUIRED_REQUESTS_PER_S, (
+        f"mc hot path served only {requests_per_s:.0f} requests/s "
+        f"(need {REQUIRED_REQUESTS_PER_S:.0f})"
+    )

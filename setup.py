@@ -46,7 +46,7 @@ setup(
     packages=find_packages("src"),
     entry_points={"console_scripts": ["repro=repro.cli:main"]},
     extras_require={
-        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "test": ["pytest", "pytest-benchmark", "pytest-xdist", "hypothesis"],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

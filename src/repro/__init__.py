@@ -5,8 +5,10 @@ The package models the JEDEC DDR5 PRAC+ABO framework, implements MOAT
 and the designs it is compared against (Panopticon, idealized per-row
 tracking, low-cost SRAM trackers), the paper's attacks (Jailbreak,
 Feinting, Ratchet, TSA, refresh postponement — declarative via
-``AttackSpec``/``run_attack``), and a workload-driven performance
-evaluation calibrated to the paper's Table 4.
+``AttackSpec``/``run_attack``), a workload-driven performance
+evaluation calibrated to the paper's Table 4, and a closed-loop
+memory-controller subsystem (``McRunConfig``/``run_mc``) that measures
+ALERT recovery as read-latency percentiles under queueing.
 
 Quickstart::
 
@@ -50,11 +52,23 @@ from repro.sim import (
     SimConfig,
     SubchannelSim,
 )
+from repro.mc import (
+    CompletedRequest,
+    McConfig,
+    MemoryController,
+    Request,
+)
 from repro.sim.attack_perf import (
     AttackResult,
     AttackRunConfig,
     AttackSpec,
     run_attack,
+)
+from repro.sim.mc import (
+    McResult,
+    McRunConfig,
+    run_mc,
+    run_mc_trace,
 )
 from repro.sim.perf import (
     MoatRunConfig,
@@ -72,7 +86,12 @@ from repro.trace import (
     replay,
     replay_addresses,
 )
-from repro.workloads import TABLE4_PROFILES, WorkloadProfile, profile_by_name
+from repro.workloads import (
+    McWorkload,
+    TABLE4_PROFILES,
+    WorkloadProfile,
+    profile_by_name,
+)
 
 __version__ = "1.0.0"
 
@@ -101,11 +120,20 @@ __all__ = [
     "AttackResult",
     "AttackRunConfig",
     "AttackSpec",
+    "CompletedRequest",
+    "McConfig",
+    "McResult",
+    "McRunConfig",
+    "McWorkload",
+    "MemoryController",
     "MoatRunConfig",
     "PerfResult",
     "PolicySpec",
+    "Request",
     "RunConfig",
     "run_attack",
+    "run_mc",
+    "run_mc_trace",
     "run_workload",
     "run_suite",
     "run_trace",

@@ -7,6 +7,13 @@ Commands:
   paper security-figure grid in parallel (with ``BENCH_attack.json``
   artifacts and baseline gating), ``attack list`` prints the attack
   registry.
+* ``mc`` — the closed-loop memory-controller evaluation: ``mc run``
+  serves a synthetic (or trace-replayed) request stream through
+  per-bank queues and an FR-FCFS scheduler and prints read-latency
+  percentiles, bandwidth, and queue occupancy under ALERT
+  back-pressure; ``mc sweep`` runs a scenario grid (policies x ABO
+  levels x arrival rates) with ``BENCH_mc.json`` artifacts and
+  baseline gating; ``mc list-presets`` prints the grids.
 * ``perf`` — evaluate a mitigation policy on a Table 4 workload (or a
   recorded address trace via ``--trace``), optionally across multiple
   sub-channels (``--channels``); ``--list-policies`` prints the
@@ -65,9 +72,12 @@ from repro.report.pipeline import (
     write_baselines,
 )
 from repro.report.tables import format_table
+from repro.mc.controller import ROW_POLICIES, SCHEDULERS
 from repro.sim.attack_perf import run_attack
 from repro.sim.mapping import CoffeeLakeMapping
+from repro.sim.mc import McRunConfig, run_mc, run_mc_trace
 from repro.sim.perf import RunConfig, run_trace, run_workload
+from repro.workloads.requests import ARRIVAL_PROCESSES, McWorkload
 from repro.trace import AddressTrace, load_trace
 from repro.sweep.artifacts import (
     ATTACK_GATED_METRICS,
@@ -75,12 +85,15 @@ from repro.sweep.artifacts import (
     DEFAULT_ATOL,
     DEFAULT_RTOL,
     GATED_METRICS,
+    MC_GATED_METRICS,
+    MC_SCHEMA,
     SCHEMA,
     check_against_baseline,
     default_baseline_path,
     git_toplevel,
     make_artifact,
     make_attack_artifact,
+    make_mc_artifact,
     write_artifact,
 )
 from repro.sweep.attack_runner import (
@@ -88,7 +101,9 @@ from repro.sweep.attack_runner import (
     run_attack_sweep,
 )
 from repro.sweep.attack_spec import ATTACK_PRESETS, attack_preset
-from repro.sweep.runner import DEFAULT_CACHE_DIR, run_sweep
+from repro.sweep.mc_runner import DEFAULT_MC_CACHE_DIR, run_mc_sweep
+from repro.sweep.mc_spec import MC_PRESETS, mc_preset
+from repro.sweep.runner import DEFAULT_CACHE_DIR, run_sweep, stderr_progress
 from repro.sweep.spec import PRESETS, preset
 from repro.workloads.profiles import TABLE4_PROFILES, profile_by_name
 
@@ -225,12 +240,10 @@ def _cmd_attack_sweep(args: argparse.Namespace) -> int:
         return 2
     spec = spec.with_overrides(seed=args.seed)
 
-    progress = None
-    if not args.quiet:
-        progress = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
     cache_dir = None if args.no_cache else Path(args.cache_dir)
     result = run_attack_sweep(
-        spec, jobs=args.jobs, cache_dir=cache_dir, progress=progress
+        spec, jobs=args.jobs, cache_dir=cache_dir,
+        progress=stderr_progress(args.quiet),
     )
 
     def tput_loss(metrics):
@@ -398,11 +411,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
 
-    progress = None
-    if not args.quiet:
-        progress = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
     cache_dir = None if args.no_cache else Path(args.cache_dir)
-    result = run_sweep(spec, jobs=args.jobs, cache_dir=cache_dir, progress=progress)
+    result = run_sweep(spec, jobs=args.jobs, cache_dir=cache_dir,
+                       progress=stderr_progress(args.quiet))
 
     rows = [
         (
@@ -449,6 +460,146 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         schema=SCHEMA,
         gated_metrics=GATED_METRICS,
     )
+
+
+def _print_mc_result(result) -> None:
+    depth = "unbounded" if result.queue_depth is None else result.queue_depth
+    rows = [
+        ("requests completed", result.requests),
+        ("read latency mean (ns)", f"{result.read_mean_ns:.1f}"),
+        ("read latency p50 (ns)", f"{result.read_p50_ns:.1f}"),
+        ("read latency p99 (ns)", f"{result.read_p99_ns:.1f}"),
+        ("read latency max (ns)", f"{result.read_max_ns:.1f}"),
+        ("achieved bandwidth (GB/s)", f"{result.achieved_gbps:.3f}"),
+        ("avg queue occupancy", f"{result.avg_queue_occupancy:.2f}"),
+        ("ALERTs per tREFI (sub-channel)", f"{result.alerts_per_trefi:.4f}"),
+        ("ALERT stall fraction", f"{result.stall_fraction:.3%}"),
+    ]
+    if result.row_policy == "open":
+        rows.append(("row-buffer hit rate", f"{result.row_hit_rate:.1%}"))
+    scope = (f", {result.subchannels} sub-channels"
+             if result.subchannels > 1 else "")
+    title = (
+        f"{result.workload} through {result.scheduler}/"
+        f"{result.row_policy} MC (depth {depth}) under {result.policy} "
+        f"L{result.abo_level} (ATH={result.ath}, ETH={result.eth}, "
+        f"{result.banks} banks{scope})"
+    )
+    print(format_table(["metric", "value"], rows, title=title))
+
+
+def _cmd_mc_run(args: argparse.Namespace) -> int:
+    depth = None if args.queue_depth == 0 else args.queue_depth
+    if depth is not None and depth < 0:
+        print("error: --queue-depth must be >= 0 (0 = unbounded)",
+              file=sys.stderr)
+        return 2
+    try:
+        config = McRunConfig(
+            ath=args.ath,
+            eth=args.eth,
+            abo_level=args.level,
+            policy=PolicySpec(args.policy),
+            workload=McWorkload(
+                process=args.process,
+                reads_per_trefi_per_bank=args.rate,
+                hot_fraction=args.hot_fraction,
+                hot_rows=args.hot_rows,
+                write_fraction=args.write_fraction,
+            ),
+            queue_depth=depth,
+            scheduler=args.scheduler,
+            row_policy=args.row_policy,
+            subchannels=args.subchannels,
+            banks=args.banks,
+            n_trefi=args.trefi,
+            seed=args.seed,
+        )
+        if args.trace:
+            trace = load_trace(args.trace)
+            if not isinstance(trace, AddressTrace):
+                print(
+                    f"error: {args.trace} is an activation trace; mc replay "
+                    "needs an address trace (see `repro trace synth`)",
+                    file=sys.stderr,
+                )
+                return 2
+            result = run_mc_trace(trace, config)
+        else:
+            result = run_mc(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_mc_result(result)
+    return 0
+
+
+def _cmd_mc_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        return _cmd_mc_list(args)
+    if not args.preset:
+        print("error: a preset name (or --list-presets) is required",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = mc_preset(args.preset)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.trefi is not None and args.trefi <= 0:
+        print("error: --trefi must be positive", file=sys.stderr)
+        return 2
+    spec = spec.with_overrides(n_trefi=args.trefi, seed=args.seed)
+
+    cache_dir = None if args.no_cache else Path(args.cache_dir)
+    result = run_mc_sweep(
+        spec, jobs=args.jobs, cache_dir=cache_dir,
+        progress=stderr_progress(args.quiet),
+    )
+
+    rows = [
+        (
+            r.workload,
+            r.policy,
+            f"L{r.abo_level}",
+            f"{r.scheduler}/{r.row_policy}",
+            f"{r.metrics['read_p50_ns']:.0f}",
+            f"{r.metrics['read_p99_ns']:.0f}",
+            f"{r.metrics['achieved_gbps']:.2f}",
+            f"{r.metrics['alerts_per_trefi']:.3f}",
+            "hit" if r.cached else f"{r.wall_clock_s:.1f}s",
+        )
+        for r in result.results
+    ]
+    print(
+        format_table(
+            ["workload", "policy", "level", "MC", "p50 ns", "p99 ns",
+             "GB/s", "ALERT/tREFI", "time"],
+            rows,
+            title=f"MC sweep {spec.name} (n_trefi={spec.n_trefi}, "
+            f"jobs={args.jobs}, {result.cache_hits} cached)",
+        )
+    )
+
+    artifact = make_mc_artifact(result)
+    return _emit_artifact_and_gate(
+        args,
+        artifact,
+        out_default=f"BENCH_mc_{spec.name}.json",
+        baseline_name=f"mc_{spec.name}",
+        schema=MC_SCHEMA,
+        gated_metrics=MC_GATED_METRICS,
+    )
+
+
+def _cmd_mc_list(_args: argparse.Namespace) -> int:
+    rows = [
+        (spec.name, len(spec.points()), spec.description)
+        for spec in MC_PRESETS.values()
+    ]
+    print(format_table(["preset", "points", "description"], rows,
+                       title="Memory-controller sweep presets"))
+    return 0
 
 
 def _emit_artifact_and_gate(
@@ -527,14 +678,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("error: --trefi must be positive", file=sys.stderr)
         return 2
 
-    progress = None
-    if not args.quiet:
-        progress = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
     options = ReportOptions(
         n_trefi=args.trefi,
         jobs=args.jobs,
         cache_root=None if args.no_cache else Path(args.cache_root),
-        progress=progress,
+        progress=stderr_progress(args.quiet),
     )
     results = run_figures(names, options)
 
@@ -763,6 +911,74 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", default=None,
                        help="output path (default: <workload>.trace.jsonl)")
     trace.set_defaults(func=_cmd_trace)
+
+    mc = sub.add_parser(
+        "mc",
+        help="closed-loop memory-controller evaluation (request-driven "
+        "latency under ALERT back-pressure)",
+    )
+    mc_sub = mc.add_subparsers(dest="action", required=True)
+
+    mc_run = mc_sub.add_parser(
+        "run",
+        help="serve one request stream and print latency/bandwidth "
+        "metrics",
+    )
+    mc_run.add_argument("--policy", choices=sorted(policy_kinds()),
+                        default="moat",
+                        help="mitigation policy (default: moat)")
+    mc_run.add_argument("--ath", type=int, default=64)
+    mc_run.add_argument("--eth", type=int, default=None)
+    mc_run.add_argument("--level", type=int, default=1, choices=[1, 2, 4],
+                        help="ABO mitigation level")
+    mc_run.add_argument("--process", choices=list(ARRIVAL_PROCESSES),
+                        default="poisson", help="arrival process")
+    mc_run.add_argument("--rate", type=float, default=24.0,
+                        help="mean requests per tREFI per bank")
+    mc_run.add_argument("--hot-fraction", type=float, default=0.0,
+                        help="fraction of requests to the hot row set")
+    mc_run.add_argument("--hot-rows", type=int, default=8,
+                        help="hot-set size per bank")
+    mc_run.add_argument("--write-fraction", type=float, default=0.0,
+                        help="fraction of requests that are writes")
+    mc_run.add_argument("--scheduler", choices=list(SCHEDULERS),
+                        default="frfcfs")
+    mc_run.add_argument("--row-policy", choices=list(ROW_POLICIES),
+                        default="closed")
+    mc_run.add_argument("--queue-depth", type=int, default=32,
+                        help="per-bank queue depth (0 = unbounded)")
+    mc_run.add_argument("--banks", type=int, default=4,
+                        help="banks simulated per sub-channel")
+    mc_run.add_argument("--subchannels", type=int, default=1, metavar="N")
+    mc_run.add_argument("--trefi", type=int, default=1024,
+                        help="simulated tREFI intervals")
+    mc_run.add_argument("--seed", type=int, default=0)
+    mc_run.add_argument("--trace", default=None, metavar="PATH",
+                        help="replay a recorded address trace as the "
+                        "request stream (geometry from the mapping; "
+                        "see `repro trace synth`)")
+    mc_run.set_defaults(func=_cmd_mc_run)
+
+    mc_sweep = mc_sub.add_parser(
+        "sweep",
+        help="run a closed-loop scenario grid in parallel",
+    )
+    mc_sweep.add_argument("--trefi", type=int, default=None,
+                          help="override simulated tREFI intervals")
+    _add_sweep_common_flags(
+        mc_sweep,
+        preset_help="preset name (see `repro mc list-presets`)",
+        list_help="list available mc presets and exit",
+        artifact_default="BENCH_mc_<preset>.json",
+        baseline_default="benchmarks/baselines/mc_<preset>.json",
+        cache_dir_default=str(DEFAULT_MC_CACHE_DIR),
+    )
+    mc_sweep.set_defaults(func=_cmd_mc_sweep)
+
+    mc_list = mc_sub.add_parser(
+        "list-presets", help="list the mc sweep presets"
+    )
+    mc_list.set_defaults(func=_cmd_mc_list)
 
     sweep = sub.add_parser(
         "sweep",

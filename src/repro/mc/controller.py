@@ -1,0 +1,332 @@
+"""Closed-loop memory controller over the channel simulation.
+
+The performance front-end (:mod:`repro.sim.perf`) is open-loop: it
+pushes a fixed activation schedule through the channel and reports the
+ALERT stall *fraction*. This controller closes the loop: requests
+arrive over time, wait in per-bank queues of configurable depth, and a
+scheduler decides what to issue next — so memory unavailability during
+REF and ABO/ALERT recovery shows up where a real system feels it, as
+queueing delay on individual requests.
+
+Layering:
+
+* **Front-end** — admits requests in arrival order. A full target
+  queue blocks admission entirely (in-order allocation, like an MC
+  admitting from a core's miss stream), which is how ALERT storms
+  back-pressure the whole stream, not just one bank.
+* **Queues** — one FIFO per (sub-channel, bank), depth
+  :attr:`McConfig.queue_depth` (``None`` = unbounded).
+* **Scheduler** — ``"fcfs"`` issues strictly in arrival order
+  (replaying a trace through it is bit-identical to
+  :func:`repro.trace.replay_addresses`); ``"frfcfs"`` picks, among the
+  requests that can issue earliest, row-buffer hits first and then the
+  oldest (the classic FR-FCFS priority), exploiting bank-level
+  parallelism.
+* **Row buffer** — ``"closed"`` page policy (the paper's baseline:
+  every request activates) or ``"open"`` (a request to the currently
+  open row is a column access through
+  :meth:`~repro.sim.channel.ChannelSim.occupy`: no ACT, no counter
+  update, shorter service). Open rows die with the events that
+  precharge their bank: every REF boundary (the engine refreshes all
+  banks per REF, and mc runs never postpone REFs, so boundaries are
+  the tREFI multiples) and every ALERT assertion (the RFMs precharge
+  the banks to refresh victims) invalidate the row-buffer state.
+* **Back-pressure** — the channel simulation defers command issue
+  across REFs and ALERT episodes, so during an ABO recovery the queues
+  grow and every queued request pays the stall; the controller never
+  needs to know *why* a command started late.
+
+The controller deliberately owns no clock of its own beyond the issue
+times the channel reports: all event ordering (REF streams, proactive
+mitigation, ALERT assertion) stays in :class:`SubchannelSim`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.mc.request import CompletedRequest, Request
+from repro.sim.channel import ChannelSim
+
+#: Implemented scheduling disciplines.
+SCHEDULERS: Tuple[str, ...] = ("fcfs", "frfcfs")
+
+#: Implemented row-buffer policies.
+ROW_POLICIES: Tuple[str, ...] = ("closed", "open")
+
+
+@dataclass(frozen=True)
+class McConfig:
+    """Static configuration of the memory controller.
+
+    Args:
+        queue_depth: Per-bank queue capacity; ``None`` removes the
+            bound (requests are admitted the instant they arrive).
+        scheduler: ``"fcfs"`` or ``"frfcfs"`` (see module docstring).
+        row_policy: ``"closed"`` or ``"open"``.
+        t_col: Service time of a row-buffer hit in nanoseconds
+            (``None`` resolves to the DRAM timing's ``t_act``).
+            Only meaningful under the open-page policy.
+    """
+
+    queue_depth: Optional[int] = 32
+    scheduler: str = "frfcfs"
+    row_policy: str = "closed"
+    t_col: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1 (or None)")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"known: {', '.join(SCHEDULERS)}"
+            )
+        if self.row_policy not in ROW_POLICIES:
+            raise ValueError(
+                f"unknown row policy {self.row_policy!r}; "
+                f"known: {', '.join(ROW_POLICIES)}"
+            )
+        if self.t_col is not None and self.t_col <= 0:
+            raise ValueError("t_col must be positive")
+
+
+class MemoryController:
+    """Request-driven front-end of one :class:`ChannelSim`.
+
+    Args:
+        channel: The channel to drive; its geometry (sub-channels,
+            banks, rows) bounds the request coordinates.
+        config: Queueing and scheduling parameters.
+    """
+
+    def __init__(self, channel: ChannelSim, config: McConfig = McConfig()) -> None:
+        self.channel = channel
+        self.config = config
+        self._num_subchannels = channel.config.num_subchannels
+        self._num_banks = channel.config.sim.num_banks
+        self._rows_per_bank = channel.config.sim.rows_per_bank
+        self._t_rc = channel.timing.t_rc
+        self._t_col = (
+            channel.timing.t_act if config.t_col is None else config.t_col
+        )
+        self._t_cmd_gap = channel.config.t_cmd_gap_resolved
+
+    def run(self, requests: List[Request]) -> List[CompletedRequest]:
+        """Serve every request; returns completions in issue order.
+
+        Requests are processed in arrival order (a stable sort on
+        ``issue_ns`` is applied, so equal-time requests keep their
+        stream order — trace replays preserve the recorded sequence).
+        """
+        stream = sorted(requests, key=lambda r: r.issue_ns)
+        for req in stream:
+            self._validate(req)
+
+        depth = self.config.queue_depth
+        frfcfs = self.config.scheduler == "frfcfs"
+        open_page = self.config.row_policy == "open"
+        channel = self.channel
+        n_subs, n_banks = self._num_subchannels, self._num_banks
+
+        #: queues[sub][bank]: (seq, request, enqueue_ns) in FIFO order.
+        queues: List[List[List[tuple]]] = [
+            [[] for _ in range(n_banks)] for _ in range(n_subs)
+        ]
+        #: Controller's view of bank/channel availability — a floor
+        #: used only to rank candidates; the engine may defer further
+        #: (REF, ALERT stall) when the command actually issues.
+        bank_free = [[0.0] * n_banks for _ in range(n_subs)]
+        open_row = [[-1] * n_banks for _ in range(n_subs)]
+        #: Time at which each open row dies: the first REF boundary at
+        #: or after the opening ACT's completion (REF precharges every
+        #: bank; boundaries are tREFI multiples since mc runs never
+        #: postpone REFs).
+        open_until = [[0.0] * n_banks for _ in range(n_subs)]
+        #: ALERT count per sub-channel at the last scheduling step; a
+        #: bump means RFMs precharged the banks — open rows are gone.
+        seen_alerts = [0] * n_subs
+        trefi = channel.timing.t_refi
+        cmd_free = 0.0
+        now = 0.0
+        #: Admission times are monotone: a request admitted after a
+        #: blocked older one inherits the blockage (in-order front).
+        admit_floor = 0.0
+        #: Per-queue time a slot last freed while the queue was full.
+        freed_at = [[0.0] * n_banks for _ in range(n_subs)]
+
+        completed: List[CompletedRequest] = []
+        total = len(stream)
+        next_arrival = 0  # index into stream
+        queued = 0
+        seq = 0
+
+        while len(completed) < total:
+            if open_page:
+                # ALERT assertion (counted at assert time, before the
+                # RFMs are processed) closes every row of the
+                # sub-channel for the recovery.
+                for sub_index, sub in enumerate(channel.subchannels):
+                    if sub.alerts != seen_alerts[sub_index]:
+                        seen_alerts[sub_index] = sub.alerts
+                        open_row[sub_index] = [-1] * n_banks
+
+            # Admit arrivals up to the current time, in order.
+            while next_arrival < total and stream[next_arrival].issue_ns <= now:
+                req = stream[next_arrival]
+                queue = queues[req.subchannel][req.bank]
+                if depth is not None and len(queue) >= depth:
+                    break  # in-order front-end: everything behind waits
+                enqueue = max(
+                    req.issue_ns, admit_floor, freed_at[req.subchannel][req.bank]
+                )
+                admit_floor = enqueue
+                queue.append((seq, req, enqueue))
+                seq += 1
+                queued += 1
+                next_arrival += 1
+
+            if queued == 0:
+                # Nothing to issue: jump to the next arrival.
+                target = stream[next_arrival].issue_ns
+                if channel.now < target:
+                    channel.advance_to(target)
+                now = max(now, target)
+                continue
+
+            sub, bank, pos, hit = self._pick(
+                queues, bank_free, cmd_free, now, frfcfs, open_page,
+                open_row, open_until,
+            )
+            queue = queues[sub][bank]
+            was_full = depth is not None and len(queue) == depth
+            _, req, enqueue = queue.pop(pos)
+            queued -= 1
+
+            if hit and channel.would_defer(
+                self._t_col, bank=bank, subchannel=sub
+            ):
+                # The ranking floors cannot see engine events; the
+                # authoritative check asks the engine whether this
+                # column access would cross one (REF, ALERT recovery,
+                # external service — all precharge the bank). If so,
+                # the row is gone: demote to a reactivation.
+                hit = False
+            if hit:
+                start = channel.occupy(self._t_col, bank=bank, subchannel=sub)
+                complete = start + self._t_col
+            else:
+                result = channel.activate(req.row, bank=bank, subchannel=sub)
+                start = result.time
+                complete = start + self._t_rc
+                if open_page:
+                    open_row[sub][bank] = req.row
+                    open_until[sub][bank] = (
+                        math.ceil(complete / trefi) * trefi
+                    )
+            if was_full:
+                freed_at[sub][bank] = start
+            bank_free[sub][bank] = complete
+            cmd_free = start + self._t_cmd_gap
+            if start > now:
+                now = start
+            completed.append(
+                CompletedRequest(
+                    request=req,
+                    enqueue_ns=enqueue,
+                    start_ns=start,
+                    complete_ns=complete,
+                    row_hit=hit,
+                )
+            )
+
+        channel.flush()
+        return completed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _pick(
+        self,
+        queues,
+        bank_free,
+        cmd_free: float,
+        now: float,
+        frfcfs: bool,
+        open_page: bool,
+        open_row,
+        open_until,
+    ) -> Tuple[int, int, int, bool]:
+        """Choose the next command: ``(sub, bank, queue_pos, row_hit)``.
+
+        FCFS returns the globally oldest queued request. FR-FCFS ranks
+        each bank's best candidate (first row hit in the queue under
+        the open-page policy, else the head) by earliest possible
+        start, breaking ties hit-first then oldest-first — all floors
+        computed from the controller's own availability view, so the
+        choice is deterministic and independent of engine internals.
+
+        A hit only counts as one if the column access also *completes*
+        before the open row's REF boundary (``open_until``); a command
+        the engine would defer across the REF finds the row precharged.
+        """
+        best = None
+        for sub, bank_queues in enumerate(queues):
+            for bank, queue in enumerate(bank_queues):
+                if not queue:
+                    continue
+                pos = 0
+                hit = False
+                if open_page:
+                    row = open_row[sub][bank]
+                    est = max(now, cmd_free, bank_free[sub][bank])
+                    alive = (
+                        row >= 0
+                        and est + self._t_col <= open_until[sub][bank]
+                    )
+                    if alive and frfcfs:
+                        # FR-FCFS may pull a hit from anywhere in the
+                        # bank queue; FCFS only recognizes a hit that
+                        # happens to sit at the head.
+                        for i, (_, req, _) in enumerate(queue):
+                            if req.row == row:
+                                pos, hit = i, True
+                                break
+                    elif alive:
+                        hit = queue[0][1].row == row
+                entry_seq = queue[pos][0]
+                if frfcfs:
+                    est = max(now, cmd_free, bank_free[sub][bank])
+                    rank = (est, not hit, entry_seq)
+                else:
+                    rank = (entry_seq,)
+                if best is None or rank < best[0]:
+                    best = (rank, sub, bank, pos, hit)
+        assert best is not None
+        return best[1], best[2], best[3], best[4]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self, req: Request) -> None:
+        if not 0 <= req.subchannel < self._num_subchannels:
+            raise ValueError(
+                f"request targets sub-channel {req.subchannel} but the "
+                f"channel has {self._num_subchannels}"
+            )
+        if not 0 <= req.bank < self._num_banks:
+            raise ValueError(
+                f"request targets bank {req.bank} but the channel has "
+                f"{self._num_banks} banks per sub-channel"
+            )
+        if not 0 <= req.row < self._rows_per_bank:
+            raise ValueError(
+                f"request targets row {req.row} but banks have "
+                f"{self._rows_per_bank} rows"
+            )
+        if req.issue_ns < 0:
+            raise ValueError("request issue_ns must be non-negative")

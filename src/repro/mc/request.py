@@ -1,0 +1,67 @@
+"""Memory-controller request primitives.
+
+A :class:`Request` is one memory transaction as the controller's
+front-end sees it: a read or write to a (sub-channel, bank, row)
+coordinate arriving at ``issue_ns``. The controller queues it, the
+scheduler picks it, the channel simulation serves it; the resulting
+:class:`CompletedRequest` records every timestamp of that lifetime, so
+latency decomposes into front-end blocking (full queue), queueing
+delay (bank busy, REF, ALERT stall), and service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Request:
+    """One memory request at the controller front-end.
+
+    Attributes:
+        issue_ns: Arrival time at the MC front-end (nanoseconds).
+        subchannel: Target sub-channel index.
+        bank: Target bank index within the sub-channel.
+        row: Target row within the bank.
+        is_write: Writes occupy the bank like reads but are excluded
+            from the read-latency statistics.
+    """
+
+    issue_ns: float
+    subchannel: int = 0
+    bank: int = 0
+    row: int = 0
+    is_write: bool = False
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """A served request with its full timing breakdown.
+
+    Attributes:
+        request: The original request.
+        enqueue_ns: Admission into the per-bank queue (later than the
+            arrival when the queue — or an older request's queue —
+            was full: in-order front-end admission).
+        start_ns: Command issue time on the channel.
+        complete_ns: Service completion (``start + tRC`` for an
+            activate, ``start + t_col`` for a row-buffer hit).
+        row_hit: Whether the request hit the open row (open-page
+            policy only; closed-page requests always activate).
+    """
+
+    request: Request
+    enqueue_ns: float
+    start_ns: float
+    complete_ns: float
+    row_hit: bool = False
+
+    @property
+    def latency_ns(self) -> float:
+        """End-to-end latency: arrival at the MC to data completion."""
+        return self.complete_ns - self.request.issue_ns
+
+    @property
+    def queue_ns(self) -> float:
+        """Time spent in the bank queue before command issue."""
+        return self.start_ns - self.enqueue_ns

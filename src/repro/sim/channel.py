@@ -162,6 +162,30 @@ class ChannelSim:
             self._cmd_free = last + self._t_cmd_gap
         return last
 
+    def occupy(
+        self, duration: float, bank: int = 0, subchannel: int = 0
+    ) -> float:
+        """Issue one non-ACT command (column access) through the front.
+
+        The command holds a channel issue slot and the target bank for
+        ``duration`` but activates nothing — see
+        :meth:`~repro.sim.engine.SubchannelSim.occupy`. Returns the
+        issue time.
+        """
+        sub = self.subchannels[subchannel]
+        start = sub.occupy(duration, bank=bank, not_before=self._cmd_free)
+        self._cmd_free = start + self._t_cmd_gap
+        return start
+
+    def would_defer(
+        self, duration: float, bank: int = 0, subchannel: int = 0
+    ) -> bool:
+        """Whether a prospective command would cross a scheduled event
+        — see :meth:`~repro.sim.engine.SubchannelSim.would_defer`.
+        Pure peek; the channel command front stays untouched."""
+        sub = self.subchannels[subchannel]
+        return sub.would_defer(duration, bank=bank, not_before=self._cmd_free)
+
     # ------------------------------------------------------------------
     # Clock control
     # ------------------------------------------------------------------

@@ -313,6 +313,58 @@ class SubchannelSim:
                 i += 1
         return last_start
 
+    def occupy(
+        self, duration: float, bank: int = 0, not_before: float = 0.0
+    ) -> float:
+        """Occupy the sub-channel and one bank for a non-ACT command.
+
+        Models a column access (a row-buffer hit under an open-page
+        memory controller): the command contends for the same issue
+        slots and bank occupancy an ACT would — and is deferred across
+        REFs and ALERT stalls by the same event machinery — but
+        activates nothing, so counters, mitigation policies, and the
+        ABO protocol never observe it. Returns the issue time; the bank
+        stays busy until ``issue + duration``.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        start = max(self.now, self._channel_free, self._bank_free[bank], not_before)
+        start = self._resolve_start(start, duration=duration)
+        self.now = start
+        self._channel_free = start + self._t_issue_gap
+        self._bank_free[bank] = start + duration
+        return start
+
+    def would_defer(
+        self, duration: Optional[float] = None, bank: int = 0,
+        not_before: float = 0.0,
+    ) -> bool:
+        """Whether a prospective command would cross a scheduled event.
+
+        True when a REF, unprocessed ALERT episode, or external
+        service stands between the timing floor and the command's
+        completion — every one of those precharges the banks, which
+        is what the open-page memory controller needs to know before
+        trusting a row buffer. Pure peek: no event is executed, no
+        issue slot claimed (executing events here would let a
+        *different* subsequent command slip past a REF that was only
+        due relative to the probed one).
+        """
+        dur = self._t_rc if duration is None else duration
+        floor = max(
+            self.now, self._channel_free, self._bank_free[bank], not_before
+        )
+        if self._next_external <= floor:
+            return True
+        episode = self._episode
+        if (
+            episode is not None
+            and not episode.processed
+            and floor + dur > episode.window_end
+        ):
+            return True
+        return self._next_ref < floor + dur
+
     def idle(self, duration: float) -> None:
         """Let wall-clock time pass with no commands issued."""
         if duration < 0:
@@ -361,8 +413,14 @@ class SubchannelSim:
     # Event processing
     # ------------------------------------------------------------------
 
-    def _resolve_start(self, start: float) -> float:
-        """Retire events up to ``start`` and adjust it for stalls."""
+    def _resolve_start(self, start: float, duration: Optional[float] = None) -> float:
+        """Retire events up to ``start`` and adjust it for stalls.
+
+        ``duration`` is the occupancy of the command being placed
+        (default: tRC, the ACT case); a command must complete before a
+        due REF starts and inside any open ALERT window.
+        """
+        dur = self._t_rc if duration is None else duration
         while True:
             if self._next_external <= start:
                 self._do_external_service()
@@ -371,11 +429,11 @@ class SubchannelSim:
             episode_due = (
                 episode is not None
                 and not episode.processed
-                and start + self._t_rc > episode.window_end
+                and start + dur > episode.window_end
             )
-            # An ACT must complete before a due REF starts (the bank is
-            # precharged for refresh), so an overlap defers the ACT.
-            ref_due = self._next_ref < start + self._t_rc
+            # A command must complete before a due REF starts (the bank
+            # is precharged for refresh), so an overlap defers it.
+            ref_due = self._next_ref < start + dur
             if episode_due and ref_due:
                 # Process whichever comes first in time.
                 if self._next_ref <= episode.window_end:

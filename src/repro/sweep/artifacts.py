@@ -1,11 +1,15 @@
 """Machine-readable sweep artifacts and baseline gating.
 
-Two artifact families share this machinery: performance sweeps
+Four artifact families share this machinery: performance sweeps
 serialize to ``BENCH_sweep.json`` (schema :data:`SCHEMA`, gated on
-:data:`GATED_METRICS`) and attack sweeps to ``BENCH_attack.json``
+:data:`GATED_METRICS`), attack sweeps to ``BENCH_attack.json``
 (schema :data:`ATTACK_SCHEMA`, gated on :data:`ATTACK_GATED_METRICS`,
-built by :func:`make_attack_artifact`). A performance artifact looks
-like:
+built by :func:`make_attack_artifact`), analytic model sweeps to
+``BENCH_model.json`` (schema :data:`MODEL_SCHEMA`, gating every
+baseline metric), and closed-loop memory-controller sweeps to
+``BENCH_mc.json`` (schema :data:`MC_SCHEMA`, gated on
+:data:`MC_GATED_METRICS`, built by :func:`make_mc_artifact`). A
+performance artifact looks like:
 
 .. code-block:: json
 
@@ -57,6 +61,10 @@ ATTACK_SCHEMA = "repro.attack/v1"
 #: Schema of ``BENCH_model.json`` artifacts (analytic model sweeps).
 MODEL_SCHEMA = "repro.model/v1"
 
+#: Schema of ``BENCH_mc.json`` artifacts (closed-loop memory-controller
+#: sweeps, built by :func:`make_mc_artifact`).
+MC_SCHEMA = "repro.mc/v1"
+
 #: Default relative location of committed baselines.
 BASELINE_DIR = Path("benchmarks") / "baselines"
 
@@ -93,6 +101,28 @@ ATTACK_GATED_METRICS = (
     "detail:normalized_throughput",
     "detail:baseline_ns",
     "detail:survivors",
+)
+
+#: Gated metrics of mc artifacts. The closed-loop simulations are
+#: fully deterministic (request streams and stochastic policies derive
+#: from the point config), so every latency/bandwidth/queueing metric
+#: is gateable; wall-clock stays ungated as always.
+MC_GATED_METRICS = (
+    "requests",
+    "reads",
+    "read_mean_ns",
+    "read_p50_ns",
+    "read_p99_ns",
+    "read_max_ns",
+    "avg_queue_ns",
+    "avg_queue_occupancy",
+    "achieved_gbps",
+    "requests_per_trefi",
+    "row_hit_rate",
+    "alerts",
+    "alerts_per_trefi",
+    "stall_fraction",
+    "total_acts",
 )
 
 DEFAULT_RTOL = 0.05
@@ -253,6 +283,49 @@ def make_model_artifact(result, git_rev: Optional[str] = None) -> Dict:
                 "config_hash": r.config_hash,
                 "kind": r.kind,
                 "params": dict(r.params),
+                "metrics": dict(r.metrics),
+                "wall_clock_s": round(r.wall_clock_s, 3),
+            }
+            for r in result.results
+        },
+    }
+
+
+def make_mc_artifact(result, git_rev: Optional[str] = None) -> Dict:
+    """Serialize an mc sweep into the ``BENCH_mc.json`` schema.
+
+    Same layout as :func:`make_artifact`, with the closed-loop identity
+    fields (arrival workload, scheduler, row policy, queue depth,
+    geometry) in place of the performance sweep's columns.
+    """
+    spec = result.spec
+    return {
+        "schema": MC_SCHEMA,
+        "preset": spec.name,
+        "description": spec.description,
+        "sweep_hash": spec.sweep_hash(),
+        "git_rev": git_revision() if git_rev is None else git_rev,
+        "created_utc": utc_now(),
+        "n_trefi": spec.n_trefi,
+        "seed": spec.seed,
+        "jobs": result.jobs,
+        "wall_clock_s": round(result.wall_clock_s, 3),
+        "compute_time_s": round(result.compute_time_s, 3),
+        "cache_hits": result.cache_hits,
+        "aggregates": result.aggregates(),
+        "points": {
+            r.key: {
+                "config_hash": r.config_hash,
+                "workload": r.workload,
+                "policy": r.policy,
+                "ath": r.ath,
+                "eth": r.eth,
+                "abo_level": r.abo_level,
+                "scheduler": r.scheduler,
+                "row_policy": r.row_policy,
+                "queue_depth": r.queue_depth,
+                "subchannels": r.subchannels,
+                "banks": r.banks,
                 "metrics": dict(r.metrics),
                 "wall_clock_s": round(r.wall_clock_s, 3),
             }

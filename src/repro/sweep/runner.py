@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -32,6 +33,24 @@ from repro.workloads.profiles import profile_by_name
 DEFAULT_CACHE_DIR = Path(".repro-cache") / "sweep"
 
 ProgressFn = Callable[[str], None]
+
+
+def stderr_progress(quiet: bool = False) -> Optional[ProgressFn]:
+    """The one progress policy every CLI command shares.
+
+    Per-point progress lines go to stderr (stdout carries the result
+    tables and artifacts) and flush immediately so long sweeps stay
+    observable through pipes; ``quiet`` suppresses them entirely.
+    Centralized here so the ``sweep``, ``attack sweep``, ``report``,
+    and ``mc sweep`` commands cannot wire verbosity differently.
+    """
+    if quiet:
+        return None
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    return progress
 
 
 @dataclass

@@ -19,6 +19,12 @@ from repro.workloads.generator import (
     generate_schedule,
     measure_characteristics,
 )
+from repro.workloads.requests import (
+    McWorkload,
+    generate_requests,
+    requests_from_schedule,
+    requests_from_trace,
+)
 
 __all__ = [
     "WorkloadProfile",
@@ -28,4 +34,8 @@ __all__ = [
     "ActivationSchedule",
     "generate_schedule",
     "measure_characteristics",
+    "McWorkload",
+    "generate_requests",
+    "requests_from_schedule",
+    "requests_from_trace",
 ]

@@ -1,0 +1,271 @@
+"""Closed-loop request-stream generators for the memory controller.
+
+Where :mod:`repro.workloads.generator` plans open-loop activation
+schedules (rows per tREFI interval, paced by the engine), this module
+synthesizes *timed request streams* for the closed-loop controller
+(:mod:`repro.mc`): every request carries its own arrival timestamp, so
+queueing delay under REF/ALERT back-pressure is measurable.
+
+An :class:`McWorkload` describes the arrival process declaratively
+(hashable and picklable, like :class:`~repro.mitigations.registry.
+PolicySpec`, so sweep points can carry it across process boundaries):
+
+* ``poisson`` — memoryless arrivals at a fixed mean rate per bank.
+* ``bursty`` — an ON/OFF modulated Poisson process (exponentially
+  distributed burst and idle phases); the ON rate is scaled by the
+  duty cycle so the long-run mean matches ``reads_per_trefi_per_bank``.
+
+Row selection mixes a hot set (``hot_fraction`` of requests to
+``hot_rows`` rows per bank — the Rowhammer-relevant reuse that drives
+mitigation policies toward their thresholds) with a uniform cold tail.
+Streams are drawn per (sub-channel, bank) with the same seeding
+discipline as :func:`~repro.workloads.generator.generate_channel_
+schedules` (``seed + sub * banks + bank``, sub-channel-major): adding
+sub-channels never perturbs existing streams, and sub-channel 0's
+streams (seeded ``seed + bank``) survive a bank-count change; higher
+sub-channels re-seed when the bank count changes, exactly as the
+schedule generator does.
+
+Recorded traces and open-loop schedules convert to request streams via
+:func:`requests_from_trace` and :func:`requests_from_schedule` — the
+bridges the round-trip and cross-check tests are built on.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mc.request import Request
+
+#: Processes implemented by :func:`generate_requests`.
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class McWorkload:
+    """Declarative description of a closed-loop request stream.
+
+    Args:
+        process: Arrival process (``"poisson"`` or ``"bursty"``).
+        reads_per_trefi_per_bank: Long-run mean arrival rate, in
+            requests per tREFI per bank (DDR5 caps a bank near
+            ``tREFI / tRC`` = 75; sustained rates above ~67 saturate
+            once REF overhead is paid).
+        hot_fraction: Fraction of requests drawn from the hot set.
+        hot_rows: Hot-set size per bank (rows ``0..hot_rows-1``).
+        write_fraction: Fraction of requests that are writes.
+        burst_trefi: Bursty only — mean ON-phase length in tREFI.
+        idle_trefi: Bursty only — mean OFF-phase length in tREFI.
+    """
+
+    process: str = "poisson"
+    reads_per_trefi_per_bank: float = 24.0
+    hot_fraction: float = 0.0
+    hot_rows: int = 8
+    write_fraction: float = 0.0
+    burst_trefi: float = 8.0
+    idle_trefi: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.process!r}; "
+                f"known: {', '.join(ARRIVAL_PROCESSES)}"
+            )
+        if self.reads_per_trefi_per_bank <= 0:
+            raise ValueError("reads_per_trefi_per_bank must be positive")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.hot_rows < 1:
+            raise ValueError("hot_rows must be at least 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.burst_trefi <= 0 or self.idle_trefi <= 0:
+            raise ValueError("burst_trefi and idle_trefi must be positive")
+
+    def display_name(self) -> str:
+        """Stable human-readable identity (sweep keys, CLI tables).
+
+        Injective over behavior-distinct workloads: every parameter
+        that shapes the request stream appears whenever it is off its
+        default, so sweep-point keys (which deduplicate on this name)
+        can never fold two different streams together. ``hot_rows``
+        matters even at ``hot_fraction=0`` — it bounds the cold-row
+        draw range; the burst knobs only exist for ``bursty``.
+        """
+        name = f"{self.process}-r{self.reads_per_trefi_per_bank:g}"
+        if self.hot_fraction:
+            name += f"-hot{self.hot_fraction:g}x{self.hot_rows}"
+        elif self.hot_rows != 8:
+            name += f"-hotrows{self.hot_rows}"
+        if self.write_fraction:
+            name += f"-w{self.write_fraction:g}"
+        if self.process == "bursty" and (
+            self.burst_trefi != 8.0 or self.idle_trefi != 8.0
+        ):
+            name += f"-b{self.burst_trefi:g}i{self.idle_trefi:g}"
+        return name
+
+
+def generate_requests(
+    workload: McWorkload,
+    num_subchannels: int = 1,
+    banks_per_subchannel: int = 4,
+    n_trefi: int = 1024,
+    rows_per_bank: int = 64 * 1024,
+    seed: int = 0,
+    trefi_ns: float = 3900.0,
+) -> List[Request]:
+    """Synthesize one channel's request stream, merged in time order.
+
+    One independent draw per (sub-channel, bank), seeded in
+    sub-channel-major order (``seed + sub * banks + bank``): adding
+    sub-channels leaves existing streams untouched, and sub-channel
+    0's per-bank streams are independent of the bank count. The merge
+    is deterministic: ties on the timestamp resolve in (sub-channel,
+    bank, per-bank order) order.
+    """
+    if num_subchannels < 1:
+        raise ValueError("num_subchannels must be at least 1")
+    if banks_per_subchannel < 1:
+        raise ValueError("banks_per_subchannel must be at least 1")
+    if n_trefi < 1:
+        raise ValueError("n_trefi must be at least 1")
+    if rows_per_bank <= workload.hot_rows:
+        raise ValueError("rows_per_bank must exceed the hot set")
+    horizon_ns = n_trefi * trefi_ns
+    name_salt = zlib.crc32(workload.display_name().encode())
+    tagged: List[tuple] = []
+    for sub in range(num_subchannels):
+        for bank in range(banks_per_subchannel):
+            stream_seed = seed + sub * banks_per_subchannel + bank
+            rng = random.Random(name_salt ^ (stream_seed * 0x9E3779B9))
+            for k, req in enumerate(
+                _bank_stream(workload, rng, horizon_ns, trefi_ns,
+                             sub, bank, rows_per_bank)
+            ):
+                tagged.append((req.issue_ns, sub, bank, k, req))
+    tagged.sort(key=lambda item: item[:4])
+    return [item[4] for item in tagged]
+
+
+def _bank_stream(
+    workload: McWorkload,
+    rng: random.Random,
+    horizon_ns: float,
+    trefi_ns: float,
+    subchannel: int,
+    bank: int,
+    rows_per_bank: int,
+) -> List[Request]:
+    """Arrivals of one (sub-channel, bank) over ``[0, horizon_ns)``.
+
+    The draw order per arrival is fixed (gap, hot?, row, write?) so
+    streams stay reproducible when workload knobs sit at their neutral
+    values — a ``hot_fraction=0`` stream draws the hot decision anyway.
+    """
+    rate_ns = workload.reads_per_trefi_per_bank / trefi_ns
+    if workload.process == "bursty":
+        duty = workload.burst_trefi / (workload.burst_trefi + workload.idle_trefi)
+        on_rate_ns = rate_ns / duty
+        arrivals = _bursty_arrivals(
+            rng, horizon_ns, on_rate_ns,
+            workload.burst_trefi * trefi_ns, workload.idle_trefi * trefi_ns,
+        )
+    else:
+        arrivals = _poisson_arrivals(rng, horizon_ns, rate_ns)
+
+    requests: List[Request] = []
+    for t in arrivals:
+        if rng.random() < workload.hot_fraction:
+            row = rng.randrange(workload.hot_rows)
+        else:
+            row = rng.randrange(workload.hot_rows, rows_per_bank)
+        is_write = rng.random() < workload.write_fraction
+        requests.append(
+            Request(issue_ns=t, subchannel=subchannel, bank=bank,
+                    row=row, is_write=is_write)
+        )
+    return requests
+
+
+def _poisson_arrivals(
+    rng: random.Random, horizon_ns: float, rate_ns: float
+) -> List[float]:
+    out: List[float] = []
+    t = rng.expovariate(rate_ns)
+    while t < horizon_ns:
+        out.append(t)
+        t += rng.expovariate(rate_ns)
+    return out
+
+
+def _bursty_arrivals(
+    rng: random.Random,
+    horizon_ns: float,
+    on_rate_ns: float,
+    burst_ns: float,
+    idle_ns: float,
+) -> List[float]:
+    """ON/OFF modulated Poisson arrivals (exponential phase lengths)."""
+    out: List[float] = []
+    t = 0.0
+    while t < horizon_ns:
+        on_end = t + rng.expovariate(1.0 / burst_ns)
+        arrival = t + rng.expovariate(on_rate_ns)
+        while arrival < on_end and arrival < horizon_ns:
+            out.append(arrival)
+            arrival += rng.expovariate(on_rate_ns)
+        t = on_end + rng.expovariate(1.0 / idle_ns)
+    return out
+
+
+def requests_from_trace(trace, mapping=None) -> List[Request]:
+    """Convert a v2 address trace into a timed request stream.
+
+    Every event is demultiplexed through the mapping (default:
+    :class:`~repro.sim.mapping.CoffeeLakeMapping`) exactly as
+    :func:`repro.trace.replay_addresses` would route it, so replaying
+    the result through the controller at infinite queue depth with the
+    FCFS scheduler reproduces the open-loop replay bit-for-bit.
+    """
+    from repro.sim.mapping import CoffeeLakeMapping
+
+    if mapping is None:
+        mapping = CoffeeLakeMapping()
+    requests: List[Request] = []
+    for time, addr in trace.events:
+        decoded = mapping.decode(addr)
+        requests.append(
+            Request(issue_ns=time, subchannel=decoded.subchannel,
+                    bank=decoded.bank, row=decoded.row)
+        )
+    return requests
+
+
+def requests_from_schedule(
+    schedule,
+    subchannel: int = 0,
+    bank: int = 0,
+    trefi_ns: float = 3900.0,
+) -> List[Request]:
+    """Convert an open-loop activation schedule into a request stream.
+
+    Each interval's rows arrive together at the interval boundary —
+    the arrival pattern the performance front-end's tREFI loop
+    produces — so a closed-loop run at infinite queue depth issues the
+    same ACT sequence as :func:`repro.sim.perf.run_workload` on the
+    same schedule (the cross-check between the two front-ends).
+    """
+    requests: List[Request] = []
+    for interval, rows in enumerate(schedule.per_trefi):
+        time = interval * trefi_ns
+        for row in rows:
+            requests.append(
+                Request(issue_ns=time, subchannel=subchannel,
+                        bank=bank, row=row)
+            )
+    return requests
