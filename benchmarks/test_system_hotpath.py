@@ -1,0 +1,85 @@
+"""System hot-path microbenchmark.
+
+Times the multi-client crossbar end to end — per-client stream
+synthesis, priority/round-robin admission, per-bank queueing, and the
+shard merge — and records requests/second into
+``results/summary.json``, so the BENCH trajectory captures the system
+layer's speed from its first PR.
+
+Runs serially and uncached on purpose (like the other hot-path
+benchmarks): it measures the crossbar arbitration loop itself, so a
+process pool or a replayed shard would hide exactly the regressions
+the floor exists to catch (a per-grant rescan of every stream, a
+quadratic admission walk across clients, ...).
+"""
+
+import time
+
+from benchmarks.conftest import FAST
+from repro.report.tables import format_table
+from repro.sweep.system_spec import TENANT_WORKLOAD
+from repro.system import ClientSpec, SystemRunConfig, run_system
+
+N_TREFI = 256 if FAST else 512
+ROUNDS = 3
+#: Catastrophe floor, far below what one core sustains through the
+#: crossbar (~50k+ req/s); catches hot-path blowups, not noise.
+REQUIRED_REQUESTS_PER_S = 2000.0
+
+
+def test_system_hotpath_throughput(report, record_json):
+    config = SystemRunConfig(
+        clients=(
+            ClientSpec(name="t0", workload=TENANT_WORKLOAD, priority=1),
+            ClientSpec(name="t1", workload=TENANT_WORKLOAD, seed=1),
+            ClientSpec(name="t2", workload=TENANT_WORKLOAD, seed=2),
+        ),
+        ath=32,
+        banks=4,
+        n_trefi=N_TREFI,
+    )
+
+    best_s = None
+    result = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = run_system(config, jobs=1, cache_dir=None)
+        elapsed = time.perf_counter() - started
+        if best_s is None or elapsed < best_s:
+            best_s = elapsed
+    requests = result.aggregate.requests
+    requests_per_s = requests / best_s
+    us_per_request = best_s / requests * 1e6
+
+    report(
+        format_table(
+            ["metric", "value"],
+            [
+                ("clients", f"{len(result.clients)}"),
+                ("requests served", f"{requests:,}"),
+                ("requests / second", f"{requests_per_s:,.0f}"),
+                ("us / request", f"{us_per_request:.2f}"),
+                ("system read p99 (ns, simulated)",
+                 f"{result.aggregate.read_p99_ns:.1f}"),
+                ("worst client p99 (ns, simulated)",
+                 f"{max(c.read_p99_ns for c in result.clients):.1f}"),
+            ],
+            title="System hot path - 3 clients through the crossbar",
+        )
+    )
+    record_json(
+        {
+            "clients": len(result.clients),
+            "requests": requests,
+            "requests_per_s": requests_per_s,
+            "us_per_request": us_per_request,
+            "read_p99_ns": result.aggregate.read_p99_ns,
+            "n_trefi": N_TREFI,
+            "required_requests_per_s": REQUIRED_REQUESTS_PER_S,
+        },
+        key="system_hotpath",
+    )
+    assert requests_per_s >= REQUIRED_REQUESTS_PER_S, (
+        f"system hot path served only {requests_per_s:.0f} requests/s "
+        f"(need {REQUIRED_REQUESTS_PER_S:.0f})"
+    )

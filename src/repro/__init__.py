@@ -6,9 +6,13 @@ and the designs it is compared against (Panopticon, idealized per-row
 tracking, low-cost SRAM trackers), the paper's attacks (Jailbreak,
 Feinting, Ratchet, TSA, refresh postponement — declarative via
 ``AttackSpec``/``run_attack``), a workload-driven performance
-evaluation calibrated to the paper's Table 4, and a closed-loop
+evaluation calibrated to the paper's Table 4, a closed-loop
 memory-controller subsystem (``McRunConfig``/``run_mc``) that measures
-ALERT recovery as read-latency percentiles under queueing.
+ALERT recovery as read-latency percentiles under queueing, and a
+multi-client, multi-channel system layer
+(``SystemRunConfig``/``run_system``) that arbitrates per-client
+request streams through a crossbar and shards channels across worker
+processes.
 
 Quickstart::
 
@@ -78,6 +82,14 @@ from repro.sim.perf import (
     run_trace,
     run_workload,
 )
+from repro.sweep.family import FAMILIES, SweepFamily, get_family
+from repro.system import (
+    ClientSpec,
+    SystemResult,
+    SystemRunConfig,
+    SystemSim,
+    run_system,
+)
 from repro.trace import (
     ActivationTrace,
     AddressTrace,
@@ -120,6 +132,7 @@ __all__ = [
     "AttackResult",
     "AttackRunConfig",
     "AttackSpec",
+    "ClientSpec",
     "CompletedRequest",
     "McConfig",
     "McResult",
@@ -131,9 +144,16 @@ __all__ = [
     "PolicySpec",
     "Request",
     "RunConfig",
+    "SweepFamily",
+    "SystemResult",
+    "SystemRunConfig",
+    "SystemSim",
+    "FAMILIES",
+    "get_family",
     "run_attack",
     "run_mc",
     "run_mc_trace",
+    "run_system",
     "run_workload",
     "run_suite",
     "run_trace",

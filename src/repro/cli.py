@@ -80,31 +80,21 @@ from repro.sim.perf import RunConfig, run_trace, run_workload
 from repro.workloads.requests import ARRIVAL_PROCESSES, McWorkload
 from repro.trace import AddressTrace, load_trace
 from repro.sweep.artifacts import (
-    ATTACK_GATED_METRICS,
-    ATTACK_SCHEMA,
     DEFAULT_ATOL,
     DEFAULT_RTOL,
-    GATED_METRICS,
-    MC_GATED_METRICS,
-    MC_SCHEMA,
-    SCHEMA,
-    check_against_baseline,
-    default_baseline_path,
     git_toplevel,
-    make_artifact,
-    make_attack_artifact,
-    make_mc_artifact,
     write_artifact,
 )
-from repro.sweep.attack_runner import (
-    DEFAULT_ATTACK_CACHE_DIR,
-    run_attack_sweep,
+from repro.sweep.family import (
+    ATTACK_FAMILY,
+    MC_FAMILY,
+    MODEL_FAMILY,
+    PERF_FAMILY,
+    SYSTEM_FAMILY,
+    SweepFamily,
 )
-from repro.sweep.attack_spec import ATTACK_PRESETS, attack_preset
-from repro.sweep.mc_runner import DEFAULT_MC_CACHE_DIR, run_mc_sweep
-from repro.sweep.mc_spec import MC_PRESETS, mc_preset
-from repro.sweep.runner import DEFAULT_CACHE_DIR, run_sweep, stderr_progress
-from repro.sweep.spec import PRESETS, preset
+from repro.sweep.runner import stderr_progress
+from repro.system import ClientSpec, STREAMABLE_ATTACKS, SystemRunConfig, run_system
 from repro.workloads.profiles import TABLE4_PROFILES, profile_by_name
 
 
@@ -220,31 +210,12 @@ def _cmd_attack_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_attack_sweep(args: argparse.Namespace) -> int:
-    if args.list:
-        rows = [
-            (spec.name, len(spec.points()), spec.description)
-            for spec in ATTACK_PRESETS.values()
-        ]
-        print(format_table(["preset", "points", "description"], rows,
-                           title="Attack sweep presets"))
-        return 0
-    if not args.preset:
-        print("error: a preset name (or --list-presets) is required",
-              file=sys.stderr)
-        return 2
-    try:
-        spec = attack_preset(args.preset)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
-    spec = spec.with_overrides(seed=args.seed)
+def _attack_overrides(spec, args: argparse.Namespace):
+    return spec.with_overrides(seed=args.seed)
 
-    cache_dir = None if args.no_cache else Path(args.cache_dir)
-    result = run_attack_sweep(
-        spec, jobs=args.jobs, cache_dir=cache_dir,
-        progress=stderr_progress(args.quiet),
-    )
+
+def _render_attack_table(result, args: argparse.Namespace) -> None:
+    spec = result.spec
 
     def tput_loss(metrics):
         # Absence of the metric is not a measured zero: only the
@@ -274,14 +245,10 @@ def _cmd_attack_sweep(args: argparse.Namespace) -> int:
         )
     )
 
-    artifact = make_attack_artifact(result)
-    return _emit_artifact_and_gate(
-        args,
-        artifact,
-        out_default=f"BENCH_attack_{spec.name}.json",
-        baseline_name=f"attack_{spec.name}",
-        schema=ATTACK_SCHEMA,
-        gated_metrics=ATTACK_GATED_METRICS,
+
+def _cmd_attack_sweep(args: argparse.Namespace) -> int:
+    return _run_family_sweep(
+        ATTACK_FAMILY, args, _attack_overrides, _render_attack_table
     )
 
 
@@ -381,40 +348,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    if args.list:
-        rows = [
-            (spec.name, len(spec.points()), spec.description)
-            for spec in PRESETS.values()
-        ]
-        print(format_table(["preset", "points", "description"], rows,
-                           title="Sweep presets"))
-        return 0
-    if not args.preset:
-        print("error: a preset name (or --list-presets) is required",
-              file=sys.stderr)
-        return 2
-    try:
-        spec = preset(args.preset)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+def _perf_overrides(spec, args: argparse.Namespace):
     if args.trefi is not None and args.trefi <= 0:
-        print("error: --trefi must be positive", file=sys.stderr)
-        return 2
+        raise ValueError("--trefi must be positive")
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
-    try:
-        spec = spec.with_overrides(
-            n_trefi=args.trefi, seed=args.seed, workloads=workloads
-        )
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+    return spec.with_overrides(
+        n_trefi=args.trefi, seed=args.seed, workloads=workloads
+    )
 
-    cache_dir = None if args.no_cache else Path(args.cache_dir)
-    result = run_sweep(spec, jobs=args.jobs, cache_dir=cache_dir,
-                       progress=stderr_progress(args.quiet))
 
+def _render_perf_table(result, args: argparse.Namespace) -> None:
+    spec = result.spec
     rows = [
         (
             r.workload,
@@ -451,14 +395,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
 
-    artifact = make_artifact(result)
-    return _emit_artifact_and_gate(
-        args,
-        artifact,
-        out_default=f"BENCH_sweep_{spec.name}.json",
-        baseline_name=spec.name,
-        schema=SCHEMA,
-        gated_metrics=GATED_METRICS,
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    return _run_family_sweep(
+        PERF_FAMILY, args, _perf_overrides, _render_perf_table
     )
 
 
@@ -534,29 +474,115 @@ def _cmd_mc_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_mc_sweep(args: argparse.Namespace) -> int:
-    if args.list:
-        return _cmd_mc_list(args)
-    if not args.preset:
-        print("error: a preset name (or --list-presets) is required",
+def _print_system_result(result) -> None:
+    config = result.config
+    agg = result.aggregate
+    rows = [
+        (
+            c.name,
+            c.priority,
+            c.requests,
+            f"{c.read_p50_ns:.0f}",
+            f"{c.read_p99_ns:.0f}",
+            f"{c.achieved_gbps:.3f}",
+            f"{c.avg_queue_occupancy:.2f}",
+        )
+        for c in result.clients
+    ]
+    rows.append(
+        (
+            "SYSTEM",
+            "",
+            agg.requests,
+            f"{agg.read_p50_ns:.0f}",
+            f"{agg.read_p99_ns:.0f}",
+            f"{agg.achieved_gbps:.3f}",
+            f"{agg.avg_queue_occupancy:.2f}",
+        )
+    )
+    title = (
+        f"{len(result.clients)} clients x {config.channels} channels "
+        f"under {config.policy.display_name()} L{config.abo_level} "
+        f"(ATH={config.ath}, ETH={config.eth_resolved}, "
+        f"{config.banks} banks, {agg.alerts} ALERTs)"
+    )
+    print(format_table(
+        ["client", "prio", "requests", "p50 ns", "p99 ns", "GB/s",
+         "queue occ"],
+        rows, title=title))
+
+
+def _cmd_system_run(args: argparse.Namespace) -> int:
+    if args.clients < 1:
+        print("error: --clients must be at least 1", file=sys.stderr)
+        return 2
+    depth = None if args.queue_depth == 0 else args.queue_depth
+    if depth is not None and depth < 0:
+        print("error: --queue-depth must be >= 0 (0 = unbounded)",
               file=sys.stderr)
         return 2
     try:
-        spec = mc_preset(args.preset)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
+        workload = McWorkload(
+            process=args.process,
+            reads_per_trefi_per_bank=args.rate,
+            hot_fraction=args.hot_fraction,
+            hot_rows=args.hot_rows,
+            write_fraction=args.write_fraction,
+        )
+        clients = tuple(
+            ClientSpec(name=f"tenant{i}", workload=workload, seed=i)
+            for i in range(args.clients)
+        )
+        if args.attacker:
+            # kernel budgets are request counts; trespass sizes itself
+            # from its aggressor parameters.
+            params = (
+                {"total_acts": args.attacker_acts}
+                if args.attacker.startswith("kernel") else {}
+            )
+            clients += (
+                ClientSpec(
+                    name="attacker",
+                    attack=AttackSpec.of(args.attacker, **params),
+                ),
+            )
+        config = SystemRunConfig(
+            clients=clients,
+            channels=args.channels,
+            ath=args.ath,
+            eth=args.eth,
+            abo_level=args.level,
+            policy=PolicySpec(args.policy),
+            queue_depth=depth,
+            scheduler=args.scheduler,
+            row_policy=args.row_policy,
+            subchannels=args.subchannels,
+            banks=args.banks,
+            n_trefi=args.trefi,
+            seed=args.seed,
+        )
+        result = run_system(
+            config,
+            jobs=args.jobs,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            progress=stderr_progress(args.quiet),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
+    _print_system_result(result)
+    return 0
+
+
+def _scaled_overrides(spec, args: argparse.Namespace):
+    """Shared --trefi/--seed override path (mc and system families)."""
     if args.trefi is not None and args.trefi <= 0:
-        print("error: --trefi must be positive", file=sys.stderr)
-        return 2
-    spec = spec.with_overrides(n_trefi=args.trefi, seed=args.seed)
+        raise ValueError("--trefi must be positive")
+    return spec.with_overrides(n_trefi=args.trefi, seed=args.seed)
 
-    cache_dir = None if args.no_cache else Path(args.cache_dir)
-    result = run_mc_sweep(
-        spec, jobs=args.jobs, cache_dir=cache_dir,
-        progress=stderr_progress(args.quiet),
-    )
 
+def _render_mc_table(result, args: argparse.Namespace) -> None:
+    spec = result.spec
     rows = [
         (
             r.workload,
@@ -581,37 +607,186 @@ def _cmd_mc_sweep(args: argparse.Namespace) -> int:
         )
     )
 
-    artifact = make_mc_artifact(result)
-    return _emit_artifact_and_gate(
-        args,
-        artifact,
-        out_default=f"BENCH_mc_{spec.name}.json",
-        baseline_name=f"mc_{spec.name}",
-        schema=MC_SCHEMA,
-        gated_metrics=MC_GATED_METRICS,
+
+def _cmd_mc_sweep(args: argparse.Namespace) -> int:
+    return _run_family_sweep(
+        MC_FAMILY, args, _scaled_overrides, _render_mc_table
     )
 
 
 def _cmd_mc_list(_args: argparse.Namespace) -> int:
+    return _list_family_presets(MC_FAMILY)
+
+
+def _model_overrides(spec, args: argparse.Namespace):
+    # Model points are scale-free except workload-stats; no seed axis.
+    if args.trefi is not None and args.trefi <= 0:
+        raise ValueError("--trefi must be positive")
+    return spec.with_overrides(n_trefi=args.trefi)
+
+
+def _render_model_table(result, args: argparse.Namespace) -> None:
+    spec = result.spec
+
+    def param_summary(params):
+        if not params:
+            return "-"
+        return ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+    rows = [
+        (
+            r.kind,
+            param_summary(r.params),
+            len(r.metrics),
+            "hit" if r.cached else f"{r.wall_clock_s:.1f}s",
+        )
+        for r in result.results
+    ]
+    print(
+        format_table(
+            ["kind", "parameters", "metrics", "time"],
+            rows,
+            title=f"Model sweep {spec.name} (jobs={args.jobs}, "
+            f"{result.cache_hits} cached)",
+        )
+    )
+
+
+def _cmd_model_sweep(args: argparse.Namespace) -> int:
+    return _run_family_sweep(
+        MODEL_FAMILY, args, _model_overrides, _render_model_table
+    )
+
+
+def _cmd_model_list(_args: argparse.Namespace) -> int:
+    return _list_family_presets(MODEL_FAMILY)
+
+
+def _render_system_table(result, args: argparse.Namespace) -> None:
+    spec = result.spec
+    rows = [
+        (
+            r.scenario,
+            len(r.clients),
+            r.policy,
+            f"ch{r.channels}",
+            f"{r.metrics['read_p50_ns']:.0f}",
+            f"{r.metrics['read_p99_ns']:.0f}",
+            f"{r.metrics['achieved_gbps']:.2f}",
+            f"{r.metrics['alerts']:.0f}",
+            "hit" if r.cached else f"{r.wall_clock_s:.1f}s",
+        )
+        for r in result.results
+    ]
+    print(
+        format_table(
+            ["scenario", "clients", "policy", "channels", "p50 ns",
+             "p99 ns", "GB/s", "ALERTs", "time"],
+            rows,
+            title=f"System sweep {spec.name} (jobs={args.jobs}, "
+            f"{result.cache_hits} cached)",
+        )
+    )
+
+
+def _cmd_system_sweep(args: argparse.Namespace) -> int:
+    return _run_family_sweep(
+        SYSTEM_FAMILY, args, _scaled_overrides, _render_system_table
+    )
+
+
+def _cmd_system_list(_args: argparse.Namespace) -> int:
+    return _list_family_presets(SYSTEM_FAMILY)
+
+
+#: Listing titles of the per-family ``list-presets`` commands (the
+#: perf/attack/mc spellings predate the registry and stay stable).
+_LIST_TITLES = {
+    "sweep": "Sweep presets",
+    "attack": "Attack sweep presets",
+    "model": "Model sweep presets",
+    "mc": "Memory-controller sweep presets",
+    "system": "System sweep presets",
+}
+
+
+def _list_family_presets(family: SweepFamily) -> int:
     rows = [
         (spec.name, len(spec.points()), spec.description)
-        for spec in MC_PRESETS.values()
+        for spec in family.presets.values()
     ]
     print(format_table(["preset", "points", "description"], rows,
-                       title="Memory-controller sweep presets"))
+                       title=_LIST_TITLES[family.name]))
     return 0
+
+
+def _resolve_cache_dir(
+    args: argparse.Namespace, family: SweepFamily
+) -> Optional[Path]:
+    """Point-cache location from --no-cache/--cache-root/--cache-dir.
+
+    ``--cache-root R`` places the cache at ``R/<family>`` (the layout
+    ``repro report`` uses); an explicitly overridden ``--cache-dir``
+    wins over the root.
+    """
+    if args.no_cache:
+        return None
+    if (args.cache_root is not None
+            and args.cache_dir == str(family.default_cache_dir)):
+        return Path(args.cache_root) / family.cache_subdir
+    return Path(args.cache_dir)
+
+
+def _run_family_sweep(
+    family: SweepFamily,
+    args: argparse.Namespace,
+    apply_overrides,
+    render_table,
+) -> int:
+    """The shared ``<family> sweep`` command body.
+
+    Everything family-specific arrives through the registry entry
+    (preset table, runner, schema, gated metrics, baseline naming) and
+    two callables: ``apply_overrides(spec, args)`` applying the
+    family's scale/subset flags (raising ``ValueError``/``KeyError``
+    on bad usage) and ``render_table(result, args)`` printing the
+    family's summary table.
+    """
+    if args.list:
+        return _list_family_presets(family)
+    if not args.preset:
+        print("error: a preset name (or --list-presets) is required",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = family.preset(args.preset)
+        spec = apply_overrides(spec, args)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    result = family.run(
+        spec,
+        jobs=args.jobs,
+        cache_dir=_resolve_cache_dir(args, family),
+        progress=stderr_progress(args.quiet),
+    )
+    render_table(result, args)
+
+    artifact = family.make_artifact(result)
+    return _emit_artifact_and_gate(args, artifact, family, spec.name)
 
 
 def _emit_artifact_and_gate(
     args: argparse.Namespace,
     artifact: dict,
-    out_default: str,
-    baseline_name: str,
-    schema: str,
-    gated_metrics,
+    family: SweepFamily,
+    preset_name: str,
 ) -> int:
     """Write a sweep artifact and apply --baseline/--write-baseline/
-    --check — identical semantics for both sweep families."""
+    --check — identical semantics for every sweep family."""
+    out_default = f"BENCH_{family.bench_prefix}_{preset_name}.json"
     out_path = Path(args.out) if args.out else Path(out_default)
     write_artifact(out_path, artifact)
     print(f"artifact: {out_path}", file=sys.stderr)
@@ -622,19 +797,20 @@ def _emit_artifact_and_gate(
         # Committed baselines live in the repo; anchor at the git
         # toplevel so the installed `repro` script finds them from
         # any working directory inside the checkout.
-        baseline = default_baseline_path(baseline_name)
+        baseline = family.default_baseline_path(preset_name)
         if not baseline.is_file():
             toplevel = git_toplevel()
             if toplevel is not None:
-                baseline = default_baseline_path(baseline_name, root=toplevel)
+                baseline = family.default_baseline_path(
+                    preset_name, root=toplevel
+                )
     if args.write_baseline:
         write_artifact(baseline, artifact)
         print(f"baseline written: {baseline}", file=sys.stderr)
         return 0
     if args.check:
-        ok, problems = check_against_baseline(
+        ok, problems = family.check_against_baseline(
             artifact, baseline, rtol=args.rtol, atol=args.atol,
-            schema=schema, gated_metrics=gated_metrics,
         )
         if not ok:
             print(f"BASELINE CHECK FAILED ({baseline}):", file=sys.stderr)
@@ -768,21 +944,30 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
 
 def _add_sweep_common_flags(
     parser: argparse.ArgumentParser,
-    preset_help: str,
-    list_help: str,
-    artifact_default: str,
-    baseline_default: str,
-    cache_dir_default: str,
+    family: SweepFamily,
+    preset_help: str = "preset name (see --list-presets)",
+    list_help: Optional[str] = None,
 ) -> None:
-    """Flag cluster shared by ``sweep`` and ``attack sweep``.
+    """Flag cluster shared by every ``<family> sweep`` command.
 
-    Both commands expose identical orchestration/gating semantics
+    All five families expose identical orchestration/gating semantics
     (jobs, seed, artifact output, baseline check/write, tolerances,
-    point cache, progress) — declared once so they cannot diverge.
+    point cache, progress), with defaults drawn from the family's
+    registry entry — declared once so the commands cannot drift.
+    ``--write-baselines`` and ``--cache-root`` are the canonical
+    spellings shared with ``repro report``; ``--write-baseline`` and
+    ``--cache-dir`` remain as compatible aliases of the same
+    semantics.
     """
+    artifact_default = f"BENCH_{family.bench_prefix}_<preset>.json"
+    baseline_default = (
+        f"benchmarks/baselines/{family.baseline_prefix}<preset>.json"
+    )
     parser.add_argument("preset", nargs="?", default=None, help=preset_help)
-    parser.add_argument("--list", "--list-presets", dest="list",
-                        action="store_true", help=list_help)
+    parser.add_argument(
+        "--list", "--list-presets", dest="list", action="store_true",
+        help=list_help
+        or f"list available {family.name} presets and exit")
     parser.add_argument("--jobs", type=int,
                         default=max(1, os.cpu_count() or 1),
                         help="worker processes (default: CPU count)")
@@ -794,7 +979,8 @@ def _add_sweep_common_flags(
     gate.add_argument("--check", action="store_true",
                       help="diff against the committed baseline; "
                       "exit 1 on regression")
-    gate.add_argument("--write-baseline", action="store_true",
+    gate.add_argument("--write-baselines", "--write-baseline",
+                      dest="write_baseline", action="store_true",
                       help="write this run as the new baseline "
                       "(mutually exclusive with --check)")
     parser.add_argument("--baseline", default=None,
@@ -803,8 +989,13 @@ def _add_sweep_common_flags(
                         help="relative metric tolerance for --check")
     parser.add_argument("--atol", type=float, default=DEFAULT_ATOL,
                         help="absolute metric tolerance for --check")
-    parser.add_argument("--cache-dir", default=cache_dir_default,
+    parser.add_argument("--cache-dir",
+                        default=str(family.default_cache_dir),
                         help="per-point result cache directory")
+    parser.add_argument("--cache-root", default=None, metavar="DIR",
+                        help="root of the per-family point caches "
+                        f"(cache at DIR/{family.cache_subdir}; an "
+                        "explicit --cache-dir wins)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the per-point result cache")
     parser.add_argument("--quiet", action="store_true",
@@ -859,20 +1050,20 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a paper security-figure attack grid in parallel",
     )
-    _add_sweep_common_flags(
-        attack_sweep,
-        preset_help="preset name (see --list-presets)",
-        list_help="list available attack presets and exit",
-        artifact_default="BENCH_attack_<preset>.json",
-        baseline_default="benchmarks/baselines/attack_<preset>.json",
-        cache_dir_default=str(DEFAULT_ATTACK_CACHE_DIR),
-    )
+    _add_sweep_common_flags(attack_sweep, ATTACK_FAMILY)
     attack_sweep.set_defaults(func=_cmd_attack_sweep)
 
     attack_list = attack_sub.add_parser(
         "list", help="list the registered attacks"
     )
     attack_list.set_defaults(func=_cmd_attack_list)
+
+    attack_list_presets = attack_sub.add_parser(
+        "list-presets", help="list the attack sweep presets"
+    )
+    attack_list_presets.set_defaults(
+        func=lambda _args: _list_family_presets(ATTACK_FAMILY)
+    )
 
     perf = sub.add_parser("perf", help="evaluate a mitigation policy on a workload")
     perf.add_argument("workload", nargs="?", default=None,
@@ -966,12 +1157,8 @@ def build_parser() -> argparse.ArgumentParser:
     mc_sweep.add_argument("--trefi", type=int, default=None,
                           help="override simulated tREFI intervals")
     _add_sweep_common_flags(
-        mc_sweep,
+        mc_sweep, MC_FAMILY,
         preset_help="preset name (see `repro mc list-presets`)",
-        list_help="list available mc presets and exit",
-        artifact_default="BENCH_mc_<preset>.json",
-        baseline_default="benchmarks/baselines/mc_<preset>.json",
-        cache_dir_default=str(DEFAULT_MC_CACHE_DIR),
     )
     mc_sweep.set_defaults(func=_cmd_mc_sweep)
 
@@ -979,6 +1166,91 @@ def build_parser() -> argparse.ArgumentParser:
         "list-presets", help="list the mc sweep presets"
     )
     mc_list.set_defaults(func=_cmd_mc_list)
+
+    system = sub.add_parser(
+        "system",
+        help="multi-client, multi-channel system evaluation (crossbar "
+        "arbitration, per-client latency tails, noisy neighbors)",
+    )
+    system_sub = system.add_subparsers(dest="action", required=True)
+
+    system_run = system_sub.add_parser(
+        "run",
+        help="run one multi-client system configuration and print "
+        "per-client metrics",
+    )
+    system_run.add_argument("--clients", type=int, default=1, metavar="N",
+                            help="homogeneous tenant clients sharing the "
+                            "crossbar (per-client seeds 0..N-1)")
+    system_run.add_argument("--channels", type=int, default=1, metavar="M",
+                            help="independent channels (sharded across "
+                            "--jobs workers)")
+    system_run.add_argument("--attacker", default=None,
+                            choices=sorted(STREAMABLE_ATTACKS),
+                            help="add one attacker client replaying this "
+                            "registered attack kind")
+    system_run.add_argument("--attacker-acts", type=int, default=200_000,
+                            help="attacker activation budget "
+                            "(kernel kinds)")
+    system_run.add_argument("--policy", choices=sorted(policy_kinds()),
+                            default="moat",
+                            help="mitigation policy (default: moat)")
+    system_run.add_argument("--ath", type=int, default=64)
+    system_run.add_argument("--eth", type=int, default=None)
+    system_run.add_argument("--level", type=int, default=1,
+                            choices=[1, 2, 4], help="ABO mitigation level")
+    system_run.add_argument("--process", choices=list(ARRIVAL_PROCESSES),
+                            default="poisson",
+                            help="tenant arrival process")
+    system_run.add_argument("--rate", type=float, default=24.0,
+                            help="mean requests per tREFI per bank "
+                            "per tenant")
+    system_run.add_argument("--hot-fraction", type=float, default=0.0,
+                            help="fraction of requests to the hot row set")
+    system_run.add_argument("--hot-rows", type=int, default=8,
+                            help="hot-set size per bank")
+    system_run.add_argument("--write-fraction", type=float, default=0.0,
+                            help="fraction of requests that are writes")
+    system_run.add_argument("--scheduler", choices=list(SCHEDULERS),
+                            default="frfcfs")
+    system_run.add_argument("--row-policy", choices=list(ROW_POLICIES),
+                            default="closed")
+    system_run.add_argument("--queue-depth", type=int, default=32,
+                            help="per-bank queue depth (0 = unbounded)")
+    system_run.add_argument("--banks", type=int, default=4,
+                            help="banks simulated per sub-channel")
+    system_run.add_argument("--subchannels", type=int, default=1,
+                            metavar="N")
+    system_run.add_argument("--trefi", type=int, default=1024,
+                            help="simulated tREFI intervals")
+    system_run.add_argument("--seed", type=int, default=0)
+    system_run.add_argument("--jobs", type=int,
+                            default=max(1, os.cpu_count() or 1),
+                            help="shard worker processes "
+                            "(default: CPU count)")
+    system_run.add_argument("--cache-dir", default=None,
+                            help="channel-shard result cache directory "
+                            "(default: no cache)")
+    system_run.add_argument("--quiet", action="store_true",
+                            help="suppress per-shard progress on stderr")
+    system_run.set_defaults(func=_cmd_system_run)
+
+    system_sweep = system_sub.add_parser(
+        "sweep",
+        help="run a named system scenario set in parallel",
+    )
+    system_sweep.add_argument("--trefi", type=int, default=None,
+                              help="override simulated tREFI intervals")
+    _add_sweep_common_flags(
+        system_sweep, SYSTEM_FAMILY,
+        preset_help="preset name (see `repro system list-presets`)",
+    )
+    system_sweep.set_defaults(func=_cmd_system_sweep)
+
+    system_list = system_sub.add_parser(
+        "list-presets", help="list the system sweep presets"
+    )
+    system_list.set_defaults(func=_cmd_system_list)
 
     sweep = sub.add_parser(
         "sweep",
@@ -990,12 +1262,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workloads", default=None,
                        help="comma-separated workload subset override")
     _add_sweep_common_flags(
-        sweep,
-        preset_help="preset name (see --list-presets)",
+        sweep, PERF_FAMILY,
         list_help="list available presets and exit",
-        artifact_default="BENCH_sweep_<preset>.json",
-        baseline_default="benchmarks/baselines/<preset>.json",
-        cache_dir_default=str(DEFAULT_CACHE_DIR),
     )
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -1060,9 +1328,35 @@ def build_parser() -> argparse.ArgumentParser:
     report_all.set_defaults(func=_cmd_report)
     report_run.set_defaults(func=_cmd_report)
 
-    model = sub.add_parser("model", help="print an analytical model table")
-    model.add_argument("name", choices=["table2", "safe-trh", "throughput"])
-    model.set_defaults(func=_cmd_model)
+    model = sub.add_parser(
+        "model",
+        help="analytical model tables and sweeps (no simulation)",
+    )
+    model_sub = model.add_subparsers(dest="name", required=True)
+    for table_name, table_help in (
+        ("table2", "per-policy mitigation overheads (Table 2)"),
+        ("safe-trh", "lowest safe TRH per ABO level"),
+        ("throughput", "attacker activation-throughput bounds"),
+    ):
+        model_table = model_sub.add_parser(table_name, help=table_help)
+        model_table.set_defaults(func=_cmd_model)
+
+    model_sweep = model_sub.add_parser(
+        "sweep", help="run a named analytic model grid"
+    )
+    model_sweep.add_argument("--trefi", type=int, default=None,
+                             help="override simulated tREFI intervals "
+                             "(models that take an interval count)")
+    _add_sweep_common_flags(
+        model_sweep, MODEL_FAMILY,
+        preset_help="preset name (see `repro model list-presets`)",
+    )
+    model_sweep.set_defaults(func=_cmd_model_sweep)
+
+    model_list = model_sub.add_parser(
+        "list-presets", help="list the model sweep presets"
+    )
+    model_list.set_defaults(func=_cmd_model_list)
 
     workloads = sub.add_parser("workloads", help="list Table 4 profiles")
     workloads.set_defaults(func=_cmd_workloads)

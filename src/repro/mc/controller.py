@@ -10,10 +10,14 @@ queueing delay on individual requests.
 
 Layering:
 
-* **Front-end** — admits requests in arrival order. A full target
-  queue blocks admission entirely (in-order allocation, like an MC
-  admitting from a core's miss stream), which is how ALERT storms
-  back-pressure the whole stream, not just one bank.
+* **Front-end** — a crossbar admitting N independent client streams
+  (:meth:`MemoryController.run_streams`), each in arrival order. A
+  full target queue stalls the *owning client's* stream (in-order
+  allocation, like an MC admitting from a core's miss stream) — which
+  is how ALERT storms back-pressure a whole stream, not just one
+  bank — while the other clients keep admitting; simultaneous
+  admissions arbitrate by priority, round-robin among equals.
+  :meth:`MemoryController.run` is the single-client special case.
 * **Queues** — one FIFO per (sub-channel, bank), depth
   :attr:`McConfig.queue_depth` (``None`` = unbounded).
 * **Scheduler** — ``"fcfs"`` issues strictly in arrival order
@@ -45,7 +49,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.mc.request import CompletedRequest, Request
 from repro.sim.channel import ChannelSim
@@ -120,10 +124,46 @@ class MemoryController:
         Requests are processed in arrival order (a stable sort on
         ``issue_ns`` is applied, so equal-time requests keep their
         stream order — trace replays preserve the recorded sequence).
+        Single-stream alias of :meth:`run_streams`: one client, so the
+        crossbar grant loop degenerates to plain in-order admission.
         """
-        stream = sorted(requests, key=lambda r: r.issue_ns)
-        for req in stream:
-            self._validate(req)
+        return self.run_streams([requests])
+
+    def run_streams(
+        self,
+        streams: Sequence[List[Request]],
+        priorities: Optional[Sequence[int]] = None,
+    ) -> List[CompletedRequest]:
+        """Serve N independent client streams through one crossbar.
+
+        Each stream is an in-order requestor: within a client, requests
+        are admitted in arrival order, and a full target queue stalls
+        that client's stream (everything behind its head waits) without
+        blocking the other clients. When several clients could admit at
+        the same instant the crossbar grants the highest ``priorities``
+        value first and breaks ties round-robin, scanning from the
+        client after the previous grant — deterministic under
+        contention, starvation-free between equals.
+
+        With one stream this is exactly :meth:`run` (the grant loop
+        degenerates to the single in-order admission loop), so the
+        1-client system simulation is bit-identical to ``run_mc``.
+        """
+        n_clients = len(streams)
+        if n_clients < 1:
+            raise ValueError("run_streams needs at least one stream")
+        if priorities is None:
+            priorities = [0] * n_clients
+        if len(priorities) != n_clients:
+            raise ValueError(
+                f"got {len(priorities)} priorities for {n_clients} streams"
+            )
+        ordered = [
+            sorted(stream, key=lambda r: r.issue_ns) for stream in streams
+        ]
+        for stream in ordered:
+            for req in stream:
+                self._validate(req)
 
         depth = self.config.queue_depth
         frfcfs = self.config.scheduler == "frfcfs"
@@ -151,15 +191,19 @@ class MemoryController:
         trefi = channel.timing.t_refi
         cmd_free = 0.0
         now = 0.0
-        #: Admission times are monotone: a request admitted after a
-        #: blocked older one inherits the blockage (in-order front).
-        admit_floor = 0.0
+        #: Admission times are monotone *per client*: a request admitted
+        #: after a blocked older one of the same stream inherits the
+        #: blockage (each client is an in-order front-end).
+        admit_floor = [0.0] * n_clients
         #: Per-queue time a slot last freed while the queue was full.
         freed_at = [[0.0] * n_banks for _ in range(n_subs)]
 
         completed: List[CompletedRequest] = []
-        total = len(stream)
-        next_arrival = 0  # index into stream
+        total = sum(len(stream) for stream in ordered)
+        heads = [0] * n_clients  # next-arrival index per stream
+        #: Last client granted admission; the round-robin scan starts
+        #: just past it, so client 0 is first at time zero.
+        last_grant = n_clients - 1
         queued = 0
         seq = 0
 
@@ -173,24 +217,50 @@ class MemoryController:
                         seen_alerts[sub_index] = sub.alerts
                         open_row[sub_index] = [-1] * n_banks
 
-            # Admit arrivals up to the current time, in order.
-            while next_arrival < total and stream[next_arrival].issue_ns <= now:
-                req = stream[next_arrival]
-                queue = queues[req.subchannel][req.bank]
-                if depth is not None and len(queue) >= depth:
-                    break  # in-order front-end: everything behind waits
+            # Crossbar admission: one grant per pass over the eligible
+            # clients (head arrived, target queue has a slot), highest
+            # priority first, round-robin among equals.
+            while True:
+                chosen = -1
+                for offset in range(n_clients):
+                    client = (last_grant + 1 + offset) % n_clients
+                    head = heads[client]
+                    if head == len(ordered[client]):
+                        continue
+                    req = ordered[client][head]
+                    if req.issue_ns > now:
+                        continue
+                    if (
+                        depth is not None
+                        and len(queues[req.subchannel][req.bank]) >= depth
+                    ):
+                        continue  # this client stalls; others proceed
+                    if chosen < 0 or priorities[client] > priorities[chosen]:
+                        chosen = client
+                if chosen < 0:
+                    break
+                req = ordered[chosen][heads[chosen]]
                 enqueue = max(
-                    req.issue_ns, admit_floor, freed_at[req.subchannel][req.bank]
+                    req.issue_ns,
+                    admit_floor[chosen],
+                    freed_at[req.subchannel][req.bank],
                 )
-                admit_floor = enqueue
-                queue.append((seq, req, enqueue))
+                admit_floor[chosen] = enqueue
+                queues[req.subchannel][req.bank].append((seq, req, enqueue))
                 seq += 1
                 queued += 1
-                next_arrival += 1
+                heads[chosen] += 1
+                last_grant = chosen
 
             if queued == 0:
-                # Nothing to issue: jump to the next arrival.
-                target = stream[next_arrival].issue_ns
+                # Nothing to issue: jump to the earliest client head.
+                # (Queues are all empty here, so no client is stalled
+                # on a full queue — every remaining head is future.)
+                target = min(
+                    ordered[client][heads[client]].issue_ns
+                    for client in range(n_clients)
+                    if heads[client] < len(ordered[client])
+                )
                 if channel.now < target:
                     channel.advance_to(target)
                 now = max(now, target)

@@ -25,6 +25,9 @@ class Request:
         row: Target row within the bank.
         is_write: Writes occupy the bank like reads but are excluded
             from the read-latency statistics.
+        client: Originating requestor (crossbar client index). Single-
+            stream runs leave it at 0; the system front-end tags each
+            client's stream so completions can be attributed per client.
     """
 
     issue_ns: float
@@ -32,6 +35,7 @@ class Request:
     bank: int = 0
     row: int = 0
     is_write: bool = False
+    client: int = 0
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,11 @@ declarative, cacheable, parallel evaluation backbone:
   :class:`~repro.attacks.registry.AttackSpec` x sub-channels, with
   named presets for every paper security figure (``fig5``, ``fig10``,
   ``fig13``, ``tsa``, ``feinting``, ``postponement``).
-* :mod:`repro.sweep.runner` / :mod:`repro.sweep.attack_runner` —
+* :mod:`repro.sweep.system_spec` — named multi-client, multi-channel
+  system scenarios (``system-smoke``, ``system-shard``,
+  ``system-noisy``) over :class:`~repro.system.sim.SystemRunConfig`.
+* :mod:`repro.sweep.runner` / :mod:`repro.sweep.attack_runner` /
+  :mod:`repro.sweep.system_runner` —
   ``ProcessPoolExecutor``-based runners with per-point result caching
   keyed on a config hash, deterministic seeding (parallel == serial),
   and resume-on-rerun.
@@ -19,17 +23,27 @@ declarative, cacheable, parallel evaluation backbone:
   ``BENCH_attack.json`` artifact emission and baseline diffing for CI
   gating (``repro sweep <preset> --check``,
   ``repro attack sweep <preset> --check``).
+* :mod:`repro.sweep.family` — the :class:`~repro.sweep.family.
+  SweepFamily` registry tying each family's spec class, presets,
+  runner, schema, gated metrics, and baseline prefix into one table
+  (the CLI and artifact builder derive from it).
 """
 
 from repro.sweep.artifacts import (
     ATTACK_SCHEMA,
+    MC_SCHEMA,
+    MODEL_SCHEMA,
     SCHEMA,
+    SYSTEM_SCHEMA,
     check_against_baseline,
     default_baseline_path,
     diff_artifacts,
     load_artifact,
     make_artifact,
     make_attack_artifact,
+    make_mc_artifact,
+    make_model_artifact,
+    make_system_artifact,
     write_artifact,
 )
 from repro.sweep.attack_runner import (
@@ -51,30 +65,66 @@ from repro.sweep.spec import (
     SweepSpec,
     preset,
 )
+from repro.sweep.system_runner import (
+    SystemPointResult,
+    SystemSweepResult,
+    run_system_sweep,
+)
+from repro.sweep.system_spec import (
+    SYSTEM_PRESETS,
+    SystemSweepPoint,
+    SystemSweepSpec,
+    system_preset,
+)
+
+# Last: the registry imports every family's spec/runner modules above.
+from repro.sweep.family import (
+    FAMILIES,
+    SweepFamily,
+    get_family,
+    make_family_artifact,
+)
 
 __all__ = [
     "ATTACK_PRESETS",
     "ATTACK_SCHEMA",
+    "FAMILIES",
+    "MC_SCHEMA",
+    "MODEL_SCHEMA",
     "PRESETS",
     "SCHEMA",
     "SWEEP_WORKLOADS",
+    "SYSTEM_PRESETS",
+    "SYSTEM_SCHEMA",
     "AttackPointResult",
     "AttackSweepPoint",
     "AttackSweepResult",
     "AttackSweepSpec",
     "PointResult",
+    "SweepFamily",
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
+    "SystemPointResult",
+    "SystemSweepPoint",
+    "SystemSweepResult",
+    "SystemSweepSpec",
     "attack_preset",
     "check_against_baseline",
     "default_baseline_path",
     "diff_artifacts",
+    "get_family",
     "load_artifact",
     "make_artifact",
     "make_attack_artifact",
+    "make_family_artifact",
+    "make_mc_artifact",
+    "make_model_artifact",
+    "make_system_artifact",
     "preset",
     "run_attack_sweep",
     "run_sweep",
+    "run_system_sweep",
+    "system_preset",
     "write_artifact",
 ]

@@ -1,6 +1,10 @@
 """Machine-readable sweep artifacts and baseline gating.
 
-Four artifact families share this machinery: performance sweeps
+Five artifact families share this machinery (each registered as a
+:class:`~repro.sweep.family.SweepFamily`, which owns the schema id,
+gated-metric set, and baseline prefix listed below; the ``make_*``
+functions here delegate to the registry's single schema-parametrized
+builder): performance sweeps
 serialize to ``BENCH_sweep.json`` (schema :data:`SCHEMA`, gated on
 :data:`GATED_METRICS`), attack sweeps to ``BENCH_attack.json``
 (schema :data:`ATTACK_SCHEMA`, gated on :data:`ATTACK_GATED_METRICS`,
@@ -8,8 +12,10 @@ built by :func:`make_attack_artifact`), analytic model sweeps to
 ``BENCH_model.json`` (schema :data:`MODEL_SCHEMA`, gating every
 baseline metric), and closed-loop memory-controller sweeps to
 ``BENCH_mc.json`` (schema :data:`MC_SCHEMA`, gated on
-:data:`MC_GATED_METRICS`, built by :func:`make_mc_artifact`). A
-performance artifact looks like:
+:data:`MC_GATED_METRICS`, built by :func:`make_mc_artifact`), and
+multi-client system sweeps to ``BENCH_system.json`` (schema
+:data:`SYSTEM_SCHEMA`, gating every baseline metric, built by
+:func:`make_system_artifact`). A performance artifact looks like:
 
 .. code-block:: json
 
@@ -64,6 +70,10 @@ MODEL_SCHEMA = "repro.model/v1"
 #: Schema of ``BENCH_mc.json`` artifacts (closed-loop memory-controller
 #: sweeps, built by :func:`make_mc_artifact`).
 MC_SCHEMA = "repro.mc/v1"
+
+#: Schema of ``BENCH_system.json`` artifacts (multi-client system
+#: sweeps, built through the family registry).
+SYSTEM_SCHEMA = "repro.system/v1"
 
 #: Default relative location of committed baselines.
 BASELINE_DIR = Path("benchmarks") / "baselines"
@@ -125,6 +135,12 @@ MC_GATED_METRICS = (
     "total_acts",
 )
 
+#: System artifacts gate on ``None``, like the model family: the
+#: per-client metric columns (``"{client}:read_p99_ns"`` …) vary by
+#: scenario, so the gate checks every metric the baseline recorded —
+#: the runs are fully deterministic, hence all of them are gateable.
+SYSTEM_GATED_METRICS = None
+
 DEFAULT_RTOL = 0.05
 DEFAULT_ATOL = 1e-6
 
@@ -179,44 +195,16 @@ def git_toplevel(cwd: Optional[Path] = None) -> Optional[Path]:
 
 
 def make_artifact(result: SweepResult, git_rev: Optional[str] = None) -> Dict:
-    """Serialize a sweep result into the ``BENCH_sweep.json`` schema."""
-    spec = result.spec
-    return {
-        "schema": SCHEMA,
-        "preset": spec.name,
-        "description": spec.description,
-        "sweep_hash": spec.sweep_hash(),
-        "git_rev": git_revision() if git_rev is None else git_rev,
-        "created_utc": utc_now(),
-        "n_trefi": spec.n_trefi,
-        "seed": spec.seed,
-        "jobs": result.jobs,
-        "wall_clock_s": round(result.wall_clock_s, 3),
-        "compute_time_s": round(result.compute_time_s, 3),
-        "cache_hits": result.cache_hits,
-        "aggregates": result.aggregates(),
-        "points": {
-            r.key: {
-                "config_hash": r.config_hash,
-                "workload": r.workload,
-                "policy": r.policy,
-                # Resolved grid coordinates, so consumers (the report
-                # extractions) can select points by axis value instead
-                # of parsing key strings. Additive relative to the
-                # committed baselines: the diff only compares config
-                # hashes and metrics.
-                "ath": r.ath,
-                "eth": r.eth,
-                "abo_level": r.abo_level,
-                "trefi_per_mitigation": r.trefi_per_mitigation,
-                # Copy: callers may mutate artifacts (baseline editing)
-                # without corrupting the live result objects.
-                "metrics": dict(r.metrics),
-                "wall_clock_s": round(r.wall_clock_s, 3),
-            }
-            for r in result.results
-        },
-    }
+    """Serialize a sweep result into the ``BENCH_sweep.json`` schema.
+
+    Delegates to the family registry's single schema-parametrized
+    builder (:func:`repro.sweep.family.make_family_artifact`); kept as
+    the stable public entry point. Imported lazily — the registry
+    imports this module for the shared schema/gate machinery.
+    """
+    from repro.sweep.family import PERF_FAMILY, make_family_artifact
+
+    return make_family_artifact(PERF_FAMILY, result, git_rev=git_rev)
 
 
 def make_attack_artifact(result, git_rev: Optional[str] = None) -> Dict:
@@ -226,36 +214,9 @@ def make_attack_artifact(result, git_rev: Optional[str] = None) -> Dict:
     (``attack``, ``kind``, ``figure``, ``subchannels``) in place of the
     performance sweep's workload/policy columns.
     """
-    spec = result.spec
-    return {
-        "schema": ATTACK_SCHEMA,
-        "preset": spec.name,
-        "description": spec.description,
-        "sweep_hash": spec.sweep_hash(),
-        "git_rev": git_revision() if git_rev is None else git_rev,
-        "created_utc": utc_now(),
-        "seed": spec.seed,
-        "jobs": result.jobs,
-        "wall_clock_s": round(result.wall_clock_s, 3),
-        "compute_time_s": round(result.compute_time_s, 3),
-        "cache_hits": result.cache_hits,
-        "aggregates": result.aggregates(),
-        "points": {
-            r.key: {
-                "config_hash": r.config_hash,
-                "attack": r.attack,
-                "kind": r.kind,
-                "figure": r.figure,
-                "subchannels": r.subchannels,
-                # Attack parameters by name (report extractions select
-                # points on these instead of parsing display names).
-                "params": dict(r.params),
-                "metrics": dict(r.metrics),
-                "wall_clock_s": round(r.wall_clock_s, 3),
-            }
-            for r in result.results
-        },
-    }
+    from repro.sweep.family import ATTACK_FAMILY, make_family_artifact
+
+    return make_family_artifact(ATTACK_FAMILY, result, git_rev=git_rev)
 
 
 def make_model_artifact(result, git_rev: Optional[str] = None) -> Dict:
@@ -265,30 +226,9 @@ def make_model_artifact(result, git_rev: Optional[str] = None) -> Dict:
     points are scale-free (no ``n_trefi``/``seed`` at the top level —
     scale-aware kinds carry their window length as a point parameter).
     """
-    spec = result.spec
-    return {
-        "schema": MODEL_SCHEMA,
-        "preset": spec.name,
-        "description": spec.description,
-        "sweep_hash": spec.sweep_hash(),
-        "git_rev": git_revision() if git_rev is None else git_rev,
-        "created_utc": utc_now(),
-        "jobs": result.jobs,
-        "wall_clock_s": round(result.wall_clock_s, 3),
-        "compute_time_s": round(result.compute_time_s, 3),
-        "cache_hits": result.cache_hits,
-        "aggregates": result.aggregates(),
-        "points": {
-            r.key: {
-                "config_hash": r.config_hash,
-                "kind": r.kind,
-                "params": dict(r.params),
-                "metrics": dict(r.metrics),
-                "wall_clock_s": round(r.wall_clock_s, 3),
-            }
-            for r in result.results
-        },
-    }
+    from repro.sweep.family import MODEL_FAMILY, make_family_artifact
+
+    return make_family_artifact(MODEL_FAMILY, result, git_rev=git_rev)
 
 
 def make_mc_artifact(result, git_rev: Optional[str] = None) -> Dict:
@@ -298,40 +238,21 @@ def make_mc_artifact(result, git_rev: Optional[str] = None) -> Dict:
     fields (arrival workload, scheduler, row policy, queue depth,
     geometry) in place of the performance sweep's columns.
     """
-    spec = result.spec
-    return {
-        "schema": MC_SCHEMA,
-        "preset": spec.name,
-        "description": spec.description,
-        "sweep_hash": spec.sweep_hash(),
-        "git_rev": git_revision() if git_rev is None else git_rev,
-        "created_utc": utc_now(),
-        "n_trefi": spec.n_trefi,
-        "seed": spec.seed,
-        "jobs": result.jobs,
-        "wall_clock_s": round(result.wall_clock_s, 3),
-        "compute_time_s": round(result.compute_time_s, 3),
-        "cache_hits": result.cache_hits,
-        "aggregates": result.aggregates(),
-        "points": {
-            r.key: {
-                "config_hash": r.config_hash,
-                "workload": r.workload,
-                "policy": r.policy,
-                "ath": r.ath,
-                "eth": r.eth,
-                "abo_level": r.abo_level,
-                "scheduler": r.scheduler,
-                "row_policy": r.row_policy,
-                "queue_depth": r.queue_depth,
-                "subchannels": r.subchannels,
-                "banks": r.banks,
-                "metrics": dict(r.metrics),
-                "wall_clock_s": round(r.wall_clock_s, 3),
-            }
-            for r in result.results
-        },
-    }
+    from repro.sweep.family import MC_FAMILY, make_family_artifact
+
+    return make_family_artifact(MC_FAMILY, result, git_rev=git_rev)
+
+
+def make_system_artifact(result, git_rev: Optional[str] = None) -> Dict:
+    """Serialize a system sweep into the ``BENCH_system.json`` schema.
+
+    Scenario identity fields (client roster, channel count, per-point
+    scale/seed) in place of grid coordinates; metrics carry the
+    flattened per-client columns next to the system aggregate.
+    """
+    from repro.sweep.family import SYSTEM_FAMILY, make_family_artifact
+
+    return make_family_artifact(SYSTEM_FAMILY, result, git_rev=git_rev)
 
 
 def write_artifact(path: Path, artifact: Dict) -> None:

@@ -1,0 +1,341 @@
+"""The unified sweep-family registry.
+
+Five artifact families share one execution/caching/gating stack (spec
+→ points → ``run_cached_grid`` → artifact → baseline gate); what
+distinguishes them is declarative: which spec class, which preset
+table, which schema id, which metrics gate, which baseline filename
+prefix, which identity columns each point records. A
+:class:`SweepFamily` captures exactly that declarative surface, and
+:data:`FAMILIES` registers all five — perf, attack, model, mc, system
+— so the CLI, the artifact builder, and the baseline gate are derived
+from one table instead of five hand-copied variants.
+
+The registry is purely descriptive: hashes, keys, and artifact layouts
+are bit-identical to the pre-registry code paths (pinned by the
+committed baselines passing ``--check`` unchanged), and
+:func:`make_family_artifact` is *the* artifact builder — the legacy
+``make_*_artifact`` functions in :mod:`repro.sweep.artifacts` delegate
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.sweep import artifacts as _artifacts
+from repro.sweep.artifacts import (
+    ATTACK_GATED_METRICS,
+    ATTACK_SCHEMA,
+    BASELINE_DIR,
+    GATED_METRICS,
+    MC_GATED_METRICS,
+    MC_SCHEMA,
+    MODEL_GATED_METRICS,
+    MODEL_SCHEMA,
+    SCHEMA,
+    SYSTEM_GATED_METRICS,
+    SYSTEM_SCHEMA,
+    git_revision,
+    utc_now,
+)
+from repro.sweep.attack_runner import (
+    DEFAULT_ATTACK_CACHE_DIR,
+    run_attack_sweep,
+)
+from repro.sweep.attack_spec import ATTACK_PRESETS, AttackSweepSpec
+from repro.sweep.mc_runner import DEFAULT_MC_CACHE_DIR, run_mc_sweep
+from repro.sweep.mc_spec import MC_PRESETS, McSweepSpec
+from repro.sweep.model_runner import (
+    DEFAULT_MODEL_CACHE_DIR,
+    run_model_sweep,
+)
+from repro.sweep.model_spec import MODEL_PRESETS, ModelSweepSpec
+from repro.sweep.runner import DEFAULT_CACHE_DIR, run_sweep
+from repro.sweep.spec import PRESETS, SweepSpec
+from repro.sweep.system_runner import (
+    DEFAULT_SYSTEM_CACHE_DIR,
+    run_system_sweep,
+)
+from repro.sweep.system_spec import SYSTEM_PRESETS, SystemSweepSpec
+
+
+@dataclass(frozen=True)
+class SweepFamily:
+    """One sweep family's declarative surface.
+
+    Attributes:
+        name: Registry key and CLI command name.
+        schema: Artifact schema id (``"repro.<family>/v1"``).
+        baseline_prefix: Committed-baseline filename prefix (the perf
+            family predates prefixes and uses ``""``).
+        bench_prefix: Artifact filename infix
+            (``BENCH_<bench_prefix>_<preset>.json``; the perf family
+            predates the registry and spells it ``sweep``).
+        description: One-line summary (CLI help).
+        spec_type: The family's spec dataclass.
+        presets: Named preset table (``name -> spec``).
+        run: ``run(spec, jobs=, cache_dir=, progress=) -> result``.
+        gated_metrics: Metrics the baseline gate compares; ``None``
+            gates every metric recorded in the baseline (the model and
+            system convention).
+        default_cache_dir: The runner's default point cache.
+        cache_subdir: Subdirectory under a ``--cache-root``.
+        top_fields: Family-specific top-level artifact fields drawn
+            from the spec (scale/seed provenance).
+        point_payload: Identity columns of one point result — the
+            resolved grid coordinates recorded next to its metrics.
+    """
+
+    name: str
+    schema: str
+    baseline_prefix: str
+    bench_prefix: str
+    description: str
+    spec_type: type
+    presets: Mapping[str, Any]
+    run: Callable[..., Any]
+    gated_metrics: Optional[Tuple[str, ...]]
+    default_cache_dir: Path
+    cache_subdir: str
+    top_fields: Callable[[Any], Dict[str, Any]]
+    point_payload: Callable[[Any], Dict[str, Any]]
+
+    def preset(self, name: str) -> Any:
+        """Look up a preset by name with a helpful error."""
+        try:
+            return self.presets[name]
+        except KeyError:
+            known = ", ".join(sorted(self.presets))
+            raise KeyError(
+                f"unknown {self.name} preset {name!r}; known: {known}"
+            ) from None
+
+    def baseline_name(self, preset_name: str) -> str:
+        """Committed baseline filename for a preset."""
+        return f"{self.baseline_prefix}{preset_name}.json"
+
+    def default_baseline_path(
+        self, preset_name: str, root: Optional[Path] = None
+    ) -> Path:
+        """Committed baseline location for a preset (``--check``)."""
+        base = Path(root) if root is not None else Path(".")
+        return base / BASELINE_DIR / self.baseline_name(preset_name)
+
+    def make_artifact(
+        self, result: Any, git_rev: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Serialize a sweep result into this family's schema."""
+        return make_family_artifact(self, result, git_rev=git_rev)
+
+    def check_against_baseline(
+        self,
+        artifact: Dict[str, Any],
+        baseline_path: Path,
+        rtol: float = _artifacts.DEFAULT_RTOL,
+        atol: float = _artifacts.DEFAULT_ATOL,
+    ) -> Tuple[bool, list]:
+        """Gate an artifact on a baseline with this family's schema
+        and gated-metric set."""
+        return _artifacts.check_against_baseline(
+            artifact,
+            baseline_path,
+            rtol=rtol,
+            atol=atol,
+            schema=self.schema,
+            gated_metrics=self.gated_metrics,
+        )
+
+
+def make_family_artifact(
+    family: SweepFamily, result: Any, git_rev: Optional[str] = None
+) -> Dict[str, Any]:
+    """Serialize any family's sweep result into its artifact schema.
+
+    One builder for all five families: the shared layout (schema,
+    provenance, timing, aggregates, keyed points) is fixed here; the
+    family contributes only its ``top_fields`` and per-point
+    ``point_payload`` columns. Emits the byte-for-byte layout of the
+    pre-registry per-family builders (artifacts are serialized with
+    ``sort_keys=True``, so insertion order carries no information).
+    """
+    spec = result.spec
+    artifact: Dict[str, Any] = {
+        "schema": family.schema,
+        "preset": spec.name,
+        "description": spec.description,
+        "sweep_hash": spec.sweep_hash(),
+        "git_rev": git_revision() if git_rev is None else git_rev,
+        "created_utc": utc_now(),
+    }
+    artifact.update(family.top_fields(spec))
+    artifact.update(
+        {
+            "jobs": result.jobs,
+            "wall_clock_s": round(result.wall_clock_s, 3),
+            "compute_time_s": round(result.compute_time_s, 3),
+            "cache_hits": result.cache_hits,
+            "aggregates": result.aggregates(),
+            "points": {
+                r.key: {
+                    "config_hash": r.config_hash,
+                    **family.point_payload(r),
+                    # Copy: callers may mutate artifacts (baseline
+                    # editing) without corrupting the live results.
+                    "metrics": dict(r.metrics),
+                    "wall_clock_s": round(r.wall_clock_s, 3),
+                }
+                for r in result.results
+            },
+        }
+    )
+    return artifact
+
+
+PERF_FAMILY = SweepFamily(
+    name="sweep",
+    bench_prefix="sweep",
+    schema=SCHEMA,
+    baseline_prefix="",
+    description="Open-loop performance sweeps over the Table 4 "
+    "workloads (slowdown, ALERT rate, mitigation volume)",
+    spec_type=SweepSpec,
+    presets=PRESETS,
+    run=run_sweep,
+    gated_metrics=GATED_METRICS,
+    default_cache_dir=DEFAULT_CACHE_DIR,
+    cache_subdir="sweep",
+    top_fields=lambda spec: {"n_trefi": spec.n_trefi, "seed": spec.seed},
+    point_payload=lambda r: {
+        "workload": r.workload,
+        "policy": r.policy,
+        "ath": r.ath,
+        "eth": r.eth,
+        "abo_level": r.abo_level,
+        "trefi_per_mitigation": r.trefi_per_mitigation,
+    },
+)
+
+ATTACK_FAMILY = SweepFamily(
+    name="attack",
+    bench_prefix="attack",
+    schema=ATTACK_SCHEMA,
+    baseline_prefix="attack_",
+    description="Security sweeps over registered attack kinds "
+    "(max danger, ALERTs, attack throughput)",
+    spec_type=AttackSweepSpec,
+    presets=ATTACK_PRESETS,
+    run=run_attack_sweep,
+    gated_metrics=ATTACK_GATED_METRICS,
+    default_cache_dir=DEFAULT_ATTACK_CACHE_DIR,
+    cache_subdir="attack",
+    top_fields=lambda spec: {"seed": spec.seed},
+    point_payload=lambda r: {
+        "attack": r.attack,
+        "kind": r.kind,
+        "figure": r.figure,
+        "subchannels": r.subchannels,
+        "params": dict(r.params),
+    },
+)
+
+MODEL_FAMILY = SweepFamily(
+    name="model",
+    bench_prefix="model",
+    schema=MODEL_SCHEMA,
+    baseline_prefix="model_",
+    description="Analytic model sweeps (closed-form tables: safe TRH, "
+    "throughput bounds, mitigation rates)",
+    spec_type=ModelSweepSpec,
+    presets=MODEL_PRESETS,
+    run=run_model_sweep,
+    gated_metrics=MODEL_GATED_METRICS,
+    default_cache_dir=DEFAULT_MODEL_CACHE_DIR,
+    cache_subdir="model",
+    top_fields=lambda spec: {},
+    point_payload=lambda r: {
+        "kind": r.kind,
+        "params": dict(r.params),
+    },
+)
+
+MC_FAMILY = SweepFamily(
+    name="mc",
+    bench_prefix="mc",
+    schema=MC_SCHEMA,
+    baseline_prefix="mc_",
+    description="Closed-loop memory-controller sweeps (read latency "
+    "percentiles, bandwidth, queue occupancy)",
+    spec_type=McSweepSpec,
+    presets=MC_PRESETS,
+    run=run_mc_sweep,
+    gated_metrics=MC_GATED_METRICS,
+    default_cache_dir=DEFAULT_MC_CACHE_DIR,
+    cache_subdir="mc",
+    top_fields=lambda spec: {"n_trefi": spec.n_trefi, "seed": spec.seed},
+    point_payload=lambda r: {
+        "workload": r.workload,
+        "policy": r.policy,
+        "ath": r.ath,
+        "eth": r.eth,
+        "abo_level": r.abo_level,
+        "scheduler": r.scheduler,
+        "row_policy": r.row_policy,
+        "queue_depth": r.queue_depth,
+        "subchannels": r.subchannels,
+        "banks": r.banks,
+    },
+)
+
+SYSTEM_FAMILY = SweepFamily(
+    name="system",
+    bench_prefix="system",
+    schema=SYSTEM_SCHEMA,
+    baseline_prefix="system_",
+    description="Multi-client, multi-channel system scenarios "
+    "(per-client latency tails, noisy-neighbor contrasts)",
+    spec_type=SystemSweepSpec,
+    presets=SYSTEM_PRESETS,
+    run=run_system_sweep,
+    gated_metrics=SYSTEM_GATED_METRICS,
+    default_cache_dir=DEFAULT_SYSTEM_CACHE_DIR,
+    cache_subdir="system",
+    # Scenarios carry their own scale/seed (no spec-level n_trefi).
+    top_fields=lambda spec: {},
+    point_payload=lambda r: {
+        "scenario": r.scenario,
+        "clients": list(r.clients),
+        "policy": r.policy,
+        "ath": r.ath,
+        "eth": r.eth,
+        "abo_level": r.abo_level,
+        "channels": r.channels,
+        "banks": r.banks,
+        "n_trefi": r.n_trefi,
+        "seed": r.seed,
+    },
+)
+
+#: All registered families, in introduction order.
+FAMILIES: Dict[str, SweepFamily] = {
+    family.name: family
+    for family in (
+        PERF_FAMILY,
+        ATTACK_FAMILY,
+        MODEL_FAMILY,
+        MC_FAMILY,
+        SYSTEM_FAMILY,
+    )
+}
+
+
+def get_family(name: str) -> SweepFamily:
+    """Look up a registered family by name with a helpful error."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        known = ", ".join(FAMILIES)
+        raise KeyError(
+            f"unknown sweep family {name!r}; known: {known}"
+        ) from None

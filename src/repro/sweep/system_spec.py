@@ -1,0 +1,259 @@
+"""Declarative system-sweep specifications and presets.
+
+The system family sweeps *scenarios*, not axis products: each point is
+a named, complete :class:`~repro.system.sim.SystemRunConfig` (client
+mix, channel count, defense configuration), because the interesting
+comparisons — duo vs solo, attacker on vs off, 1 channel vs 4 —
+are hand-picked contrasts rather than grids. Structure follows the
+model family (explicit scenario tuples); identity follows the mc
+family (resolved-value hashing via
+:func:`~repro.system.sim.system_config_payload`).
+
+:data:`SYSTEM_PRESETS` names the scenario sets: the CI smoke gate
+(solo / contended duo / undefended duo), the sharding scale-out, and
+the noisy-neighbor contrast whose baseline pins the victim-p99
+degradation story.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.attacks.registry import AttackSpec
+from repro.mitigations.registry import PolicySpec
+from repro.system.sim import (
+    SYSTEM_RESULT_VERSION,
+    SystemRunConfig,
+    system_config_payload,
+)
+from repro.system.crossbar import ClientSpec
+from repro.workloads.requests import McWorkload
+
+#: Additive axes mapped to their neutral value (same convention as the
+#: other families); empty while the family is young.
+_NEUTRAL_AXES: Dict[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class SystemSweepPoint:
+    """One named scenario: a complete system run configuration."""
+
+    scenario: str
+    config: SystemRunConfig
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity (artifact/baseline key)."""
+        c = self.config
+        depth = "inf" if c.queue_depth is None else str(c.queue_depth)
+        return (
+            f"{self.scenario}|{c.display_name()}"
+            f"|{c.policy.display_name()}"
+            f"|ath={c.ath}|eth={c.eth_resolved}|L{c.abo_level}"
+            f"|ch{c.channels}|qd={depth}|b{c.banks}"
+            f"|trefi={c.n_trefi}|seed={c.seed}"
+        )
+
+    def config_hash(self) -> str:
+        """Content hash of everything that determines the result.
+
+        Delegates the resolved-value/dead-knob conventions to
+        :func:`~repro.system.sim.system_config_payload` (shared with
+        the shard cache, so a sweep point and its shards agree on
+        identity); axes listed in :data:`_NEUTRAL_AXES` hash out at
+        their neutral value.
+        """
+        config = system_config_payload(self.config)
+        for name, neutral in _NEUTRAL_AXES.items():
+            if config.get(name) == neutral:
+                del config[name]
+        payload = {
+            "version": SYSTEM_RESULT_VERSION,
+            "scenario": self.scenario,
+            "config": config,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SystemSweepSpec:
+    """Named set of system scenarios (explicit, not a cross product)."""
+
+    name: str
+    description: str = ""
+    scenarios: Tuple[Tuple[str, SystemRunConfig], ...] = ()
+
+    def points(self) -> List[SystemSweepPoint]:
+        """Expand the scenarios in declared order, deduplicated by key."""
+        out: List[SystemSweepPoint] = []
+        seen: set = set()
+        for scenario, config in self.scenarios:
+            point = SystemSweepPoint(scenario=scenario, config=config)
+            if point.key not in seen:
+                seen.add(point.key)
+                out.append(point)
+        return out
+
+    def sweep_hash(self) -> str:
+        """Identity of the whole scenario set (order-independent)."""
+        hashes = sorted(p.config_hash() for p in self.points())
+        blob = json.dumps([self.name, hashes], separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def with_overrides(
+        self,
+        n_trefi: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> "SystemSweepSpec":
+        """Copy with cheap-scale overrides applied to every scenario."""
+        changes: Dict[str, Any] = {}
+        if n_trefi is not None:
+            changes["n_trefi"] = n_trefi
+        if seed is not None:
+            changes["seed"] = seed
+        if not changes:
+            return self
+        return dataclasses.replace(
+            self,
+            scenarios=tuple(
+                (scenario, dataclasses.replace(config, **changes))
+                for scenario, config in self.scenarios
+            ),
+        )
+
+
+#: The benign per-client mix of the system presets: moderate load with
+#: a warm reuse set, so contention shows up in queue occupancy without
+#: saturating the banks outright.
+TENANT_WORKLOAD = McWorkload(
+    reads_per_trefi_per_bank=24.0, hot_fraction=0.3, hot_rows=8
+)
+
+#: Two equal tenants at different crossbar priorities — the minimal
+#: contended mix (priority 1 beats priority 0 on simultaneous heads).
+DUO_CLIENTS: Tuple[ClientSpec, ...] = (
+    ClientSpec(name="tenant0", workload=TENANT_WORKLOAD, priority=1),
+    ClientSpec(name="tenant1", workload=TENANT_WORKLOAD, seed=1),
+)
+
+#: Noisy-neighbor cast: two benign victims plus one client replaying
+#: the registered single-row PRAC kernel with a budget large enough to
+#: hammer for the whole window.
+VICTIM_CLIENTS: Tuple[ClientSpec, ...] = (
+    ClientSpec(name="victim0", workload=TENANT_WORKLOAD),
+    ClientSpec(name="victim1", workload=TENANT_WORKLOAD, seed=1),
+)
+ATTACKER_CLIENT = ClientSpec(
+    name="attacker",
+    attack=AttackSpec.of("kernel-single", total_acts=200_000),
+)
+
+SYSTEM_PRESETS: Dict[str, SystemSweepSpec] = {
+    spec.name: spec
+    for spec in (
+        SystemSweepSpec(
+            name="system-smoke",
+            description="CI smoke gate: one tenant alone, the "
+            "contended duo under MOAT, and the duo undefended",
+            scenarios=(
+                (
+                    "solo",
+                    SystemRunConfig(
+                        clients=(
+                            ClientSpec(
+                                name="tenant0", workload=TENANT_WORKLOAD
+                            ),
+                        ),
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+                (
+                    "duo",
+                    SystemRunConfig(
+                        clients=DUO_CLIENTS, banks=2, n_trefi=512
+                    ),
+                ),
+                (
+                    "duo-null",
+                    SystemRunConfig(
+                        clients=DUO_CLIENTS,
+                        policy=PolicySpec("null"),
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+            ),
+        ),
+        SystemSweepSpec(
+            name="system-shard",
+            description="Channel scale-out: the contended duo on 1, 2, "
+            "and 4 independent channels (per-channel streams reseeded "
+            "by channel, aggregates merged exactly)",
+            scenarios=tuple(
+                (
+                    f"duo-ch{channels}",
+                    SystemRunConfig(
+                        clients=DUO_CLIENTS,
+                        channels=channels,
+                        banks=2,
+                        n_trefi=256,
+                    ),
+                )
+                for channels in (1, 2, 4)
+            ),
+        ),
+        SystemSweepSpec(
+            name="system-noisy",
+            description="Noisy neighbor: two victims with and without "
+            "a single-row PRAC hammer sharing the crossbar at ATH=32 "
+            "(victim p99 degradation is the gated contrast)",
+            scenarios=(
+                (
+                    "quiet",
+                    SystemRunConfig(
+                        clients=VICTIM_CLIENTS,
+                        ath=32,
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+                (
+                    "noisy",
+                    SystemRunConfig(
+                        clients=VICTIM_CLIENTS + (ATTACKER_CLIENT,),
+                        ath=32,
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+                (
+                    "noisy-null",
+                    SystemRunConfig(
+                        clients=VICTIM_CLIENTS + (ATTACKER_CLIENT,),
+                        policy=PolicySpec("null"),
+                        ath=32,
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+
+def system_preset(name: str) -> SystemSweepSpec:
+    """Look up a system preset by name with a helpful error."""
+    try:
+        return SYSTEM_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(SYSTEM_PRESETS))
+        raise KeyError(
+            f"unknown system preset {name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,54 @@
+"""Multi-requestor, multi-channel system simulation.
+
+``repro.system`` scales the single-stream memory-controller model of
+:mod:`repro.sim.mc` out to a system: a front-end crossbar arbitrating
+N client streams per channel (:mod:`repro.system.crossbar` for the
+clients, :meth:`repro.mc.controller.MemoryController.run_streams` for
+the grant logic) and a :class:`~repro.system.sim.SystemSim` sharding
+M independent channels across the sweep process pool
+(:mod:`repro.system.sim`).
+"""
+
+from repro.system.crossbar import (
+    ATTACK_ROW_BASE,
+    CHANNEL_SEED_STRIDE,
+    CLIENT_SEED_STRIDE,
+    STREAMABLE_ATTACKS,
+    ClientSpec,
+    attack_request_stream,
+    client_requests,
+)
+from repro.system.sim import (
+    SYSTEM_RESULT_VERSION,
+    ChannelShard,
+    ClientMetrics,
+    ClientShardStats,
+    ShardResult,
+    SystemResult,
+    SystemRunConfig,
+    SystemSim,
+    execute_system_shard,
+    run_system,
+    system_config_payload,
+)
+
+__all__ = [
+    "ATTACK_ROW_BASE",
+    "CHANNEL_SEED_STRIDE",
+    "CLIENT_SEED_STRIDE",
+    "STREAMABLE_ATTACKS",
+    "SYSTEM_RESULT_VERSION",
+    "ChannelShard",
+    "ClientMetrics",
+    "ClientShardStats",
+    "ClientSpec",
+    "ShardResult",
+    "SystemResult",
+    "SystemRunConfig",
+    "SystemSim",
+    "attack_request_stream",
+    "client_requests",
+    "execute_system_shard",
+    "run_system",
+    "system_config_payload",
+]

@@ -245,6 +245,28 @@ class TestProbeIssue:
         assert hits > 0
 
 
+class TestRunStreamsAlias:
+    def test_run_equals_single_stream(self):
+        """run() is the 1-stream alias of run_streams() — the identity
+        the system layer's 1-client pin rests on."""
+        reqs = [
+            Request(issue_ns=17.0 * i, bank=i % 2, row=(i * 11) % 512)
+            for i in range(150)
+        ]
+        via_run = MemoryController(
+            make_channel(), McConfig(queue_depth=2)
+        ).run(list(reqs))
+        via_streams = MemoryController(
+            make_channel(), McConfig(queue_depth=2)
+        ).run_streams([list(reqs)])
+        assert via_run == via_streams
+
+    def test_streams_need_at_least_one(self):
+        mc = MemoryController(make_channel(), McConfig())
+        with pytest.raises(ValueError, match="at least one"):
+            mc.run_streams([])
+
+
 class TestTiming:
     def test_idle_gap_reproduces(self):
         """Arrival timestamps floor the issue times (idle gaps pass)."""

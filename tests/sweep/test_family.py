@@ -1,0 +1,176 @@
+"""Tests of the sweep-family registry: completeness, artifact
+equivalence with the legacy builders, and baseline coverage."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sweep.artifacts import (
+    load_artifact,
+    make_artifact,
+    make_attack_artifact,
+    make_mc_artifact,
+    make_model_artifact,
+    make_system_artifact,
+)
+from repro.sweep.family import (
+    ATTACK_FAMILY,
+    FAMILIES,
+    MC_FAMILY,
+    MODEL_FAMILY,
+    PERF_FAMILY,
+    SYSTEM_FAMILY,
+    get_family,
+    make_family_artifact,
+)
+
+BASELINE_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_all_five_families_registered(self):
+        assert list(FAMILIES) == ["sweep", "attack", "model", "mc",
+                                  "system"]
+        for name, family in FAMILIES.items():
+            assert family.name == name
+            assert get_family(name) is family
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown sweep family"):
+            get_family("bogus")
+
+    def test_schemas_are_distinct_and_versioned(self):
+        schemas = [f.schema for f in FAMILIES.values()]
+        assert len(set(schemas)) == len(schemas)
+        assert all(s.startswith("repro.") and "/v" in s for s in schemas)
+
+    def test_baseline_prefixes_are_distinct(self):
+        prefixes = [f.baseline_prefix for f in FAMILIES.values()]
+        assert len(set(prefixes)) == len(prefixes)
+
+    def test_every_family_is_complete(self):
+        for family in FAMILIES.values():
+            assert family.presets, family.name
+            assert callable(family.run)
+            assert callable(family.top_fields)
+            assert callable(family.point_payload)
+            assert family.cache_subdir
+            assert family.description
+            for name, spec in family.presets.items():
+                assert isinstance(spec, family.spec_type), name
+
+    def test_preset_lookup_error_names_the_family(self):
+        with pytest.raises(KeyError, match="unknown mc preset"):
+            MC_FAMILY.preset("nope")
+        with pytest.raises(KeyError, match="unknown system preset"):
+            SYSTEM_FAMILY.preset("nope")
+
+    def test_baseline_paths(self):
+        assert (PERF_FAMILY.baseline_name("fig11") == "fig11.json")
+        assert (MC_FAMILY.baseline_name("mc-smoke") == "mc_mc-smoke.json")
+        assert SYSTEM_FAMILY.default_baseline_path(
+            "system-smoke", root=Path("/x")
+        ) == Path("/x/benchmarks/baselines/system_system-smoke.json")
+
+
+class TestCommittedBaselines:
+    """Every preset of every family has its baseline committed under
+    the family's prefix convention, carrying the family's schema."""
+
+    def test_baselines_exist(self):
+        missing = []
+        for family in FAMILIES.values():
+            for preset_name in family.presets:
+                path = family.default_baseline_path(
+                    preset_name, root=BASELINE_ROOT
+                )
+                if not path.exists():
+                    missing.append(str(path))
+        assert not missing, missing
+
+    def test_committed_baselines_carry_family_schema(self):
+        for family in FAMILIES.values():
+            for preset_name in family.presets:
+                path = family.default_baseline_path(
+                    preset_name, root=BASELINE_ROOT
+                )
+                if not path.exists():
+                    continue
+                artifact = load_artifact(path, schema=family.schema)
+                assert artifact["preset"] == preset_name, str(path)
+
+
+class TestArtifactEquivalence:
+    """The registry-driven builder emits byte-for-byte what the legacy
+    per-family builders emit (they now delegate, and this pins it)."""
+
+    def canonical(self, artifact):
+        artifact = dict(artifact)
+        artifact.pop("created_utc")
+        return json.dumps(artifact, sort_keys=True)
+
+    def assert_equivalent(self, family, legacy_builder, result):
+        via_family = make_family_artifact(family, result, git_rev="x")
+        via_legacy = legacy_builder(result, git_rev="x")
+        assert (self.canonical(via_family)
+                == self.canonical(via_legacy))
+        assert (self.canonical(family.make_artifact(result, git_rev="x"))
+                == self.canonical(via_legacy))
+
+    def test_mc(self):
+        from repro.sweep.mc_runner import run_mc_sweep
+        spec = MC_FAMILY.preset("mc-smoke").with_overrides(n_trefi=32)
+        result = run_mc_sweep(spec, jobs=1, cache_dir=None)
+        self.assert_equivalent(MC_FAMILY, make_mc_artifact, result)
+
+    def test_model(self):
+        from repro.sweep.model_runner import run_model_sweep
+        spec = next(iter(MODEL_FAMILY.presets.values()))
+        result = run_model_sweep(spec, jobs=1, cache_dir=None)
+        self.assert_equivalent(MODEL_FAMILY, make_model_artifact, result)
+
+    def test_system(self):
+        from repro.sweep.system_runner import run_system_sweep
+        spec = SYSTEM_FAMILY.preset("system-smoke").with_overrides(
+            n_trefi=32
+        )
+        result = run_system_sweep(spec, jobs=1, cache_dir=None)
+        self.assert_equivalent(SYSTEM_FAMILY, make_system_artifact,
+                               result)
+
+    def test_perf(self):
+        from repro.sweep.runner import run_sweep
+        spec = PERF_FAMILY.preset("fig11").with_overrides(
+            n_trefi=16, workloads=("mcf",)
+        )
+        result = run_sweep(spec, jobs=1, cache_dir=None)
+        self.assert_equivalent(PERF_FAMILY, make_artifact, result)
+
+    def test_attack(self):
+        from repro.sweep.attack_runner import run_attack_sweep
+        spec = ATTACK_FAMILY.preset("fig5")
+        result = run_attack_sweep(spec, jobs=1, cache_dir=None)
+        self.assert_equivalent(ATTACK_FAMILY, make_attack_artifact,
+                               result)
+
+
+class TestFamilyGate:
+    def test_check_against_baseline_uses_family_settings(self, tmp_path):
+        from repro.sweep.artifacts import write_artifact
+        from repro.sweep.system_runner import run_system_sweep
+        spec = SYSTEM_FAMILY.preset("system-smoke").with_overrides(
+            n_trefi=32
+        )
+        result = run_system_sweep(spec, jobs=1, cache_dir=None)
+        artifact = SYSTEM_FAMILY.make_artifact(result, git_rev="x")
+        path = tmp_path / SYSTEM_FAMILY.baseline_name("system-smoke")
+        write_artifact(path, artifact)
+        ok, problems = SYSTEM_FAMILY.check_against_baseline(
+            artifact, path, rtol=0.0, atol=0.0
+        )
+        assert ok, problems
+        # Another family refuses the baseline: its schema doesn't match.
+        ok, problems = MC_FAMILY.check_against_baseline(artifact, path)
+        assert not ok
+        assert any("schema" in p for p in problems)

@@ -1,0 +1,142 @@
+"""Tests of system sweep specs: keys, hashing conventions, presets."""
+
+import dataclasses
+
+from repro.attacks.registry import AttackSpec
+from repro.mitigations.registry import PolicySpec
+from repro.sweep.system_spec import (
+    ATTACKER_CLIENT,
+    SYSTEM_PRESETS,
+    SystemSweepPoint,
+    SystemSweepSpec,
+    TENANT_WORKLOAD,
+    system_preset,
+)
+from repro.system import ClientSpec, SystemRunConfig
+from repro.workloads.requests import McWorkload
+
+import pytest
+
+
+def point(**overrides):
+    return SystemSweepPoint(
+        scenario="s", config=SystemRunConfig(**overrides)
+    )
+
+
+class TestPointIdentity:
+    def test_key_is_readable_and_complete(self):
+        p = SystemSweepPoint(
+            scenario="duo",
+            config=SystemRunConfig(
+                clients=(
+                    ClientSpec(name="a", workload=TENANT_WORKLOAD),
+                    ClientSpec(name="b", workload=TENANT_WORKLOAD,
+                               seed=1),
+                ),
+                channels=2, ath=32, banks=2, n_trefi=512,
+            ),
+        )
+        key = p.key
+        assert key.startswith("duo|a+b|moat|")
+        for part in ("ath=32", "eth=16", "L1", "ch2", "qd=32", "b2",
+                     "trefi=512", "seed=0"):
+            assert part in key, part
+
+    def test_hash_resolves_eth(self):
+        assert (point(ath=64).config_hash()
+                == point(ath=64, eth=32).config_hash())
+        assert (point(ath=64).config_hash()
+                != point(ath=64, eth=40).config_hash())
+
+    def test_hash_neutralizes_attacker_workload(self):
+        """An attacker client's workload is dead configuration — any
+        spelling of it hashes identically."""
+        atk_default = ClientSpec(
+            name="atk", attack=AttackSpec.of("kernel-single")
+        )
+        atk_custom = dataclasses.replace(
+            atk_default,
+            workload=McWorkload(reads_per_trefi_per_bank=99.0),
+        )
+        assert (point(clients=(atk_default,)).config_hash()
+                == point(clients=(atk_custom,)).config_hash())
+
+    def test_hash_neutralizes_poisson_burst_knobs(self):
+        poisson = McWorkload(process="poisson", burst_trefi=3.0)
+        assert (point(clients=(ClientSpec(name="c", workload=poisson),))
+                .config_hash()
+                == point(clients=(ClientSpec(name="c"),)).config_hash())
+
+    def test_hash_sees_live_axes(self):
+        base = point().config_hash()
+        assert point(channels=2).config_hash() != base
+        assert point(seed=1).config_hash() != base
+        assert point(policy=PolicySpec("null")).config_hash() != base
+        assert (point(clients=(ClientSpec(name="c", priority=1),))
+                .config_hash() != base)
+
+    def test_scenario_name_is_identity(self):
+        a = SystemSweepPoint(scenario="a", config=SystemRunConfig())
+        b = SystemSweepPoint(scenario="b", config=SystemRunConfig())
+        assert a.config_hash() != b.config_hash()
+
+
+class TestSpec:
+    def test_points_dedup_by_key(self):
+        config = SystemRunConfig()
+        spec = SystemSweepSpec(
+            name="d", scenarios=(("x", config), ("x", config))
+        )
+        assert len(spec.points()) == 1
+
+    def test_with_overrides_rescales_every_scenario(self):
+        spec = system_preset("system-smoke")
+        fast = spec.with_overrides(n_trefi=64, seed=9)
+        assert all(
+            c.n_trefi == 64 and c.seed == 9 for _, c in fast.scenarios
+        )
+        assert fast.sweep_hash() != spec.sweep_hash()
+        assert spec.with_overrides() is spec
+
+    def test_sweep_hash_order_independent(self):
+        spec = system_preset("system-smoke")
+        reversed_spec = dataclasses.replace(
+            spec, scenarios=tuple(reversed(spec.scenarios))
+        )
+        assert spec.sweep_hash() == reversed_spec.sweep_hash()
+
+
+class TestPresets:
+    def test_registry_is_consistent(self):
+        for name, spec in SYSTEM_PRESETS.items():
+            assert spec.name == name
+            assert spec.description
+            assert spec.points(), name
+            assert system_preset(name) is spec
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown system preset"):
+            system_preset("system-nope")
+
+    def test_smoke_contrasts(self):
+        spec = system_preset("system-smoke")
+        scenarios = dict(spec.scenarios)
+        assert set(scenarios) == {"solo", "duo", "duo-null"}
+        assert len(scenarios["solo"].clients) == 1
+        assert len(scenarios["duo"].clients) == 2
+        assert scenarios["duo-null"].policy.kind == "null"
+
+    def test_shard_preset_scales_channels(self):
+        spec = system_preset("system-shard")
+        assert [c.channels for _, c in spec.scenarios] == [1, 2, 4]
+
+    def test_noisy_preset_casts_an_attacker(self):
+        spec = system_preset("system-noisy")
+        scenarios = dict(spec.scenarios)
+        assert ATTACKER_CLIENT in scenarios["noisy"].clients
+        assert ATTACKER_CLIENT not in scenarios["quiet"].clients
+        assert ATTACKER_CLIENT.attack is not None
+        # All scenarios share scale so the contrast is the attacker.
+        assert len({(c.ath, c.banks, c.n_trefi)
+                    for c in scenarios.values()}) == 1

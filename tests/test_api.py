@@ -24,6 +24,31 @@ def test_quickstart_snippet():
     assert stats["max_danger"] <= 99  # the paper's tolerated T_RH
 
 
+def test_system_and_family_exports():
+    """PR 6 additions: the system layer and the sweep-family registry
+    are part of the top-level API."""
+    from repro import (
+        FAMILIES,
+        ClientSpec,
+        SweepFamily,
+        SystemResult,
+        SystemRunConfig,
+        SystemSim,
+        get_family,
+        run_system,
+    )
+
+    assert callable(run_system)
+    assert SystemSim is not None and SystemResult is not None
+    config = SystemRunConfig(clients=(ClientSpec(name="t0"),))
+    assert config.eth_resolved == 32
+    assert set(FAMILIES) == {"sweep", "attack", "model", "mc", "system"}
+    for family in FAMILIES.values():
+        assert isinstance(family, SweepFamily)
+        assert family is get_family(family.name)
+    assert get_family("system").schema == "repro.system/v1"
+
+
 def test_policy_classes_share_interface():
     from repro import (
         IdealPerRowPolicy,
