@@ -74,6 +74,7 @@ from repro.report.pipeline import (
 from repro.report.tables import format_table
 from repro.mc.controller import ROW_POLICIES, SCHEDULERS
 from repro.sim.attack_perf import run_attack
+from repro.sim.backend import BACKEND_ENV, BACKEND_NAMES
 from repro.sim.mapping import CoffeeLakeMapping
 from repro.sim.mc import McRunConfig, run_mc, run_mc_trace
 from repro.sim.perf import RunConfig, run_trace, run_workload
@@ -942,6 +943,33 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Rows printed by ``--profile`` (top functions by cumulative time).
+_PROFILE_TOP_N = 25
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--backend`` selector.
+
+    The choice is exported through :data:`BACKEND_ENV` rather than
+    threaded through every config object, so process-pool workers
+    inherit it; every backend is bit-identical by contract (and by
+    test), so the flag never changes a result — only its speed.
+    """
+    parser.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="hot-path kernel backend (default: $REPRO_BACKEND or "
+        "'pure'; 'numba' falls back to 'kernel' semantics in pure "
+        "Python if numba is not installed — results are bit-identical "
+        "on every backend)")
+
+
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the command under cProfile and print the top "
+        f"{_PROFILE_TOP_N} functions by cumulative time to stderr")
+
+
 def _add_sweep_common_flags(
     parser: argparse.ArgumentParser,
     family: SweepFamily,
@@ -1000,6 +1028,7 @@ def _add_sweep_common_flags(
                         help="disable the per-point result cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress on stderr")
+    _add_backend_flag(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1084,6 +1113,8 @@ def build_parser() -> argparse.ArgumentParser:
                       "synthetic workload (see `repro trace synth`)")
     perf.add_argument("--trefi", type=int, default=4096,
                       help="simulated tREFI intervals (8192 = full window)")
+    _add_backend_flag(perf)
+    _add_profile_flag(perf)
     perf.set_defaults(func=_cmd_perf)
 
     trace = sub.add_parser(
@@ -1148,6 +1179,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replay a recorded address trace as the "
                         "request stream (geometry from the mapping; "
                         "see `repro trace synth`)")
+    _add_backend_flag(mc_run)
+    _add_profile_flag(mc_run)
     mc_run.set_defaults(func=_cmd_mc_run)
 
     mc_sweep = mc_sub.add_parser(
@@ -1233,6 +1266,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: no cache)")
     system_run.add_argument("--quiet", action="store_true",
                             help="suppress per-shard progress on stderr")
+    _add_backend_flag(system_run)
     system_run.set_defaults(func=_cmd_system_run)
 
     system_sweep = system_sub.add_parser(
@@ -1321,6 +1355,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="disable the per-point result caches")
         sub_parser.add_argument("--quiet", action="store_true",
                                 help="suppress per-point progress on stderr")
+        _add_backend_flag(sub_parser)
     report_list = report_sub.add_parser(
         "list", help="list the registered paper figures/tables"
     )
@@ -1363,10 +1398,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_profiled(args: argparse.Namespace) -> int:
+    """Run the command under cProfile; stats go to stderr.
+
+    The table is printed on stderr so the command's own stdout
+    (tables, artifacts-to-stdout) stays pipeable.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(args.func, args)
+    finally:
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        print(f"--- cProfile: top {_PROFILE_TOP_N} by cumulative time ---",
+              file=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "backend", None):
+        # Exported via the environment rather than threaded through the
+        # config objects so sweep process-pool workers inherit the
+        # selection; bit-identity across backends means this can never
+        # change a result or a cache/baseline identity.
+        os.environ[BACKEND_ENV] = args.backend
     try:
+        if getattr(args, "profile", False):
+            return _run_profiled(args)
         return args.func(args)
     except BrokenPipeError:
         # Output piped into a pager/head that exited early. Exit with

@@ -33,8 +33,8 @@ from typing import Dict, List, Optional
 
 from repro.dram.refresh import CounterResetPolicy
 from repro.dram.timing import DramTiming, DDR5_PRAC_TIMING
-from repro.mc.controller import McConfig, MemoryController
-from repro.mc.request import CompletedRequest, Request
+from repro.mc.controller import McConfig, MemoryController, ServedBatch
+from repro.mc.request import Request
 from repro.mitigations.registry import PolicySpec, RunParams
 from repro.sim.channel import ChannelConfig, ChannelSim
 from repro.sim.engine import SimConfig
@@ -71,6 +71,11 @@ class McRunConfig:
     n_trefi: int = 1024
     seed: int = 0
     timing: DramTiming = field(default_factory=lambda: DDR5_PRAC_TIMING)
+    #: Kernel backend for the serving hot loops (``"pure"``,
+    #: ``"kernel"``, ``"numba"``; ``None`` defers to ``REPRO_BACKEND``
+    #: then ``"pure"``). Equivalence-gated — results are bit-identical
+    #: across backends, so this is hashed out of sweep identities.
+    backend: Optional[str] = None
 
     @property
     def eth_resolved(self) -> int:
@@ -209,6 +214,7 @@ def build_mc_channel(
         abo_level=config.abo_level,
         track_danger=False,
         dense_counters=True,
+        backend=config.backend,
     )
     run_params = RunParams(
         ath=config.ath,
@@ -266,9 +272,9 @@ def run_mc_requests(
     if channel is None:
         channel = build_mc_channel(config)
     controller = MemoryController(channel, config.mc_config())
-    completed = controller.run(requests)
+    served = controller.serve(requests)
     horizon = config.n_trefi * config.timing.t_refi
-    return _summarize(completed, channel, config, workload_name,
+    return _summarize(served, channel, config, workload_name,
                       horizon=horizon, n_trefi=config.n_trefi)
 
 
@@ -299,7 +305,7 @@ def run_mc_trace(
     )
     requests = requests_from_trace(trace, mapping)
     controller = MemoryController(channel, config.mc_config())
-    completed = controller.run(requests)
+    served = controller.serve(requests)
 
     trefi = config.timing.t_refi
     elapsed_floor = trace.duration_ns
@@ -310,14 +316,14 @@ def run_mc_trace(
         n_trefi = max(1, int(max(channel.now, elapsed_floor) // trefi))
     name = str(trace.metadata.get("workload", "trace"))
     return _summarize(
-        completed, channel, config, name,
+        served, channel, config, name,
         horizon=elapsed_floor, n_trefi=n_trefi,
         subchannels=mapping.num_subchannels, banks=mapping.num_banks,
     )
 
 
 def _summarize(
-    completed: List[CompletedRequest],
+    served: ServedBatch,
     channel: ChannelSim,
     config: McRunConfig,
     workload_name: str,
@@ -326,12 +332,14 @@ def _summarize(
     subchannels: Optional[int] = None,
     banks: Optional[int] = None,
 ) -> McResult:
+    # All aggregates come straight from the batch's flat arrays, in
+    # the same accumulation order the per-completion objects produced
+    # (see ServedBatch) — metrics are bit-identical either way.
     elapsed_ns = max(channel.now, horizon)
-    read_latencies = sorted(
-        c.latency_ns for c in completed if not c.request.is_write
-    )
+    read_latencies = served.read_latencies_sorted()
     reads = len(read_latencies)
-    queue_ns_total = sum(c.queue_ns for c in completed)
+    queue_ns_total = served.queue_ns_total()
+    total = len(served)
     subchannels = config.subchannels if subchannels is None else subchannels
     stall_ns = channel.alerts * config.abo_level * config.timing.t_rfm
     return McResult(
@@ -346,10 +354,10 @@ def _summarize(
         subchannels=subchannels,
         banks=config.banks if banks is None else banks,
         n_trefi=n_trefi,
-        requests=len(completed),
+        requests=total,
         reads=reads,
-        writes=len(completed) - reads,
-        row_hits=sum(1 for c in completed if c.row_hit),
+        writes=total - reads,
+        row_hits=served.row_hit_count(),
         alerts=channel.alerts,
         total_acts=channel.total_acts,
         elapsed_ns=elapsed_ns,
@@ -361,7 +369,7 @@ def _summarize(
         read_p99_ns=_percentile(read_latencies, 0.99),
         read_max_ns=read_latencies[-1] if reads else float("nan"),
         avg_queue_ns=(
-            queue_ns_total / len(completed) if completed else 0.0
+            queue_ns_total / total if total else 0.0
         ),
         avg_queue_occupancy=(
             queue_ns_total / elapsed_ns if elapsed_ns else 0.0

@@ -14,6 +14,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.mitigations.base import CounterTable
 from repro.mitigations.graphene import make_graphene
+from repro.mitigations.moat import MoatPolicy
 from repro.mitigations.trr import TrrTracker
 
 ROWS = 48  # small row space => plenty of collisions and evictions
@@ -233,3 +234,126 @@ class TestMisraGriesSlotProperties:
             for r, slot in tracker._slot.items():
                 assert tracker._rows[slot] == r
                 assert tracker._counts[slot] > 0
+
+
+class ListMoatReference:
+    """Slot-ordered list model of the MOAT register file.
+
+    Mirrors the documented hardware rules: a tracked row's counter is
+    kept live; an untracked row above ETH displaces the first-minimal
+    entry only if stronger; a row crossing ATH is force-tracked
+    (unconditional displacement) and latches the ALERT request.
+    """
+
+    def __init__(self, level: int, ath: int, eth: int) -> None:
+        self.level, self.ath, self.eth = level, ath, eth
+        self.entries = []  # [row, count] in slot order
+        self.alert_requested = False
+        self.alerts_requested = 0
+
+    def _insert(self, row, count, only_if_stronger=False):
+        if len(self.entries) < self.level:
+            self.entries.append([row, count])
+            return
+        weakest = min(range(len(self.entries)),
+                      key=lambda i: self.entries[i][1])
+        if only_if_stronger and count <= self.entries[weakest][1]:
+            return
+        self.entries[weakest] = [row, count]
+
+    def on_activate(self, row, count):
+        slot = next(
+            (i for i, e in enumerate(self.entries) if e[0] == row), -1
+        )
+        if slot >= 0:
+            self.entries[slot][1] = count
+        elif count > self.eth:
+            self._insert(row, count, only_if_stronger=True)
+        if count > self.ath and not self.alert_requested:
+            if all(e[0] != row for e in self.entries):
+                self._insert(row, count)
+            self.alert_requested = True
+            self.alerts_requested += 1
+
+    def select_proactive(self):
+        if self.entries:
+            best = max(range(len(self.entries)),
+                       key=lambda i: self.entries[i][1])
+            # first maximal in slot order, like the hardware argmax
+            for i, e in enumerate(self.entries):
+                if e[1] == self.entries[best][1]:
+                    best = i
+                    break
+            self.cma = self.entries.pop(best)[0]
+        else:
+            self.cma = None
+
+
+#: Randomized (row, PRAC count) observations as the engine feeds them.
+moat_observations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=0, max_value=40),
+    ),
+    max_size=300,
+)
+
+
+class TestMoatRegisterFileProperties:
+    """The ``array('q')``-backed MOAT tracker (the storage the kernel
+    backends alias through :meth:`state_views`) must keep the exact
+    slot semantics of the documented register file."""
+
+    @given(obs=moat_observations, level=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_list_reference(self, obs, level):
+        policy = MoatPolicy(ath=24, eth=12, level=level)
+        reference = ListMoatReference(level=level, ath=24, eth=12)
+        for row, count in obs:
+            policy.on_activate(row, count)
+            reference.on_activate(row, count)
+            # clear the latch like the engine's ALERT machinery does
+            policy.alert_requested = False
+            reference.alert_requested = False
+            assert [
+                [e.row, e.count] for e in policy.tracker
+            ] == reference.entries
+        assert policy.alerts_requested == reference.alerts_requested
+
+    @given(obs=moat_observations, level=st.sampled_from([1, 2, 4]),
+           period=st.integers(min_value=3, max_value=25))
+    @settings(max_examples=40, deadline=None)
+    def test_proactive_selection_keeps_slot_order(self, obs, level, period):
+        policy = MoatPolicy(ath=1000, eth=12, level=level)
+        reference = ListMoatReference(level=level, ath=1000, eth=12)
+        for i, (row, count) in enumerate(obs):
+            policy.on_activate(row, count)
+            reference.on_activate(row, count)
+            if i % period == period - 1:
+                policy.select_proactive()
+                reference.select_proactive()
+                assert policy.cma == reference.cma
+                assert [
+                    [e.row, e.count] for e in policy.tracker
+                ] == reference.entries
+
+    @given(obs=moat_observations, level=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=40, deadline=None)
+    def test_state_views_alias_live_storage(self, obs, level):
+        """The numpy views the kernels mutate are the policy's own
+        register file: reads agree with the tracker at every step, and
+        a write through the view is a write to the policy."""
+        policy = MoatPolicy(ath=24, eth=12, level=level)
+        rows_view, counts_view = policy.state_views()
+        assert len(rows_view) == len(counts_view) == level
+        for row, count in obs:
+            policy.on_activate(row, count)
+            fill = policy._fill
+            assert [
+                [e.row, e.count] for e in policy.tracker
+            ] == [
+                [int(rows_view[i]), int(counts_view[i])] for i in range(fill)
+            ]
+        if policy._fill:
+            counts_view[0] = 77
+            assert policy.tracker[0].count == 77

@@ -9,6 +9,7 @@ episodes, external services) and for every policy kind.
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.mitigations.registry import PolicySpec, RunParams, policy_kinds
 from repro.sim.engine import SimConfig, SubchannelSim
@@ -16,6 +17,12 @@ from repro.workloads.generator import generate_schedule
 from repro.workloads.profiles import profile_by_name
 
 TREFI = 3900.0
+
+#: All registered kernel backends. ``numba`` silently degrades to
+#: ``pure`` where numba is not installed, so parametrizing over it is
+#: always safe — it tests the compiled kernels exactly where they can
+#: compile and the fallback contract everywhere else.
+BACKENDS = ("pure", "kernel", "numba")
 
 
 def drive(sim, schedule, batched: bool) -> dict:
@@ -112,6 +119,77 @@ class TestBatchedEquivalence:
         sim = SubchannelSim(config, factory)
         assert sim.activate_many([]) is None
         assert sim.total_acts == 0
+
+
+class TestBackendEquivalence:
+    """Every backend's batch path must match the scalar per-ACT
+    reference bit for bit — the contract that lets sweep identities
+    hash the backend out entirely (one cache entry, one baseline)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kind", sorted(policy_kinds()))
+    def test_every_policy_kind(self, kind, backend):
+        schedule = workload_schedule(n_trefi=128)
+        factory = PolicySpec(kind).make_factory(RunParams(ath=64, eth=32))
+        config = SimConfig(track_danger=False, dense_counters=True)
+        serial = drive(SubchannelSim(config, factory), schedule, batched=False)
+        factory2 = PolicySpec(kind).make_factory(RunParams(ath=64, eth=32))
+        kernel_config = SimConfig(
+            track_danger=False, dense_counters=True, backend=backend
+        )
+        batched = drive(
+            SubchannelSim(kernel_config, factory2), schedule, batched=True
+        )
+        assert serial == batched
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_alert_heavy_run(self, backend):
+        schedule = [[7, 7, 7, 9, 7] for _ in range(300)]
+        factory = PolicySpec("moat").make_factory(RunParams(ath=32, eth=16))
+        config = SimConfig(track_danger=False, dense_counters=True)
+        serial = drive(SubchannelSim(config, factory), schedule, batched=False)
+        factory2 = PolicySpec("moat").make_factory(RunParams(ath=32, eth=16))
+        kernel_config = SimConfig(
+            track_danger=False, dense_counters=True, backend=backend
+        )
+        batched = drive(
+            SubchannelSim(kernel_config, factory2), schedule, batched=True
+        )
+        assert serial == batched
+        assert serial["alerts"] > 0
+
+
+#: Randomized per-tREFI batches over a tiny row space, so short
+#: sequences still produce tracker churn, ETH crossings, and ALERTs.
+random_schedules = st.lists(
+    st.lists(st.integers(min_value=0, max_value=23), max_size=16),
+    max_size=48,
+)
+
+
+class TestBackendProperties:
+    @given(
+        schedule=random_schedules,
+        kind=st.sampled_from(sorted(policy_kinds())),
+        backend=st.sampled_from(BACKENDS),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_schedules_bit_identical(self, schedule, kind, backend):
+        """Arbitrary schedules, every policy, every backend: the batch
+        path equals the scalar reference. A low ATH makes even short
+        random streams cross the ALERT machinery."""
+        params = RunParams(ath=12, eth=6)
+        factory = PolicySpec(kind).make_factory(params)
+        config = SimConfig(track_danger=False, dense_counters=True)
+        serial = drive(SubchannelSim(config, factory), schedule, batched=False)
+        factory2 = PolicySpec(kind).make_factory(params)
+        kernel_config = SimConfig(
+            track_danger=False, dense_counters=True, backend=backend
+        )
+        batched = drive(
+            SubchannelSim(kernel_config, factory2), schedule, batched=True
+        )
+        assert serial == batched
 
 
 class TestDenseCounters:
