@@ -13,7 +13,9 @@ Commands:
   percentiles, bandwidth, and queue occupancy under ALERT
   back-pressure; ``mc sweep`` runs a scenario grid (policies x ABO
   levels x arrival rates) with ``BENCH_mc.json`` artifacts and
-  baseline gating; ``mc list-presets`` prints the grids.
+  baseline gating; ``mc list-presets`` prints the grids;
+  ``mc list-scheds`` prints the scheduling-policy registry (FCFS,
+  FR-FCFS, and the per-client QoS kinds, selected with ``--sched``).
 * ``perf`` — evaluate a mitigation policy on a Table 4 workload (or a
   recorded address trace via ``--trace``), optionally across multiple
   sub-channels (``--channels``); ``--list-policies`` prints the
@@ -73,6 +75,7 @@ from repro.report.pipeline import (
 )
 from repro.report.tables import format_table
 from repro.mc.controller import ROW_POLICIES, SCHEDULERS
+from repro.mc.sched import sched_descriptions
 from repro.sim.attack_perf import run_attack
 from repro.sim.backend import BACKEND_ENV, BACKEND_NAMES
 from repro.sim.mapping import CoffeeLakeMapping
@@ -429,6 +432,62 @@ def _print_mc_result(result) -> None:
     print(format_table(["metric", "value"], rows, title=title))
 
 
+def _parse_sched(text: str):
+    """Parse ``KIND[:k=v,...]`` into (scheduler, sched_params).
+
+    Values parse as int, then float; anything else is handed to the
+    registry validation verbatim for its (numeric-only) error message.
+    """
+    kind, _, params_text = text.partition(":")
+    kind = kind.strip()
+    params = []
+    if params_text.strip():
+        for item in params_text.split(","):
+            name, sep, value_text = item.partition("=")
+            if not sep or not name.strip():
+                raise ValueError(
+                    f"bad --sched parameter {item!r}; expected k=v"
+                )
+            value_text = value_text.strip()
+            try:
+                value = int(value_text)
+            except ValueError:
+                try:
+                    value = float(value_text)
+                except ValueError:
+                    value = value_text
+            params.append((name.strip(), value))
+    return kind, tuple(params)
+
+
+def _resolve_sched(args: argparse.Namespace):
+    """The scheduler/params pair from ``--sched`` or ``--scheduler``."""
+    if getattr(args, "sched", None):
+        return _parse_sched(args.sched)
+    return args.scheduler, ()
+
+
+def _add_sched_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheduler", choices=list(SCHEDULERS),
+                        default="frfcfs")
+    parser.add_argument("--sched", default=None, metavar="KIND[:k=v,...]",
+                        help="scheduling policy with parameters, e.g. "
+                        "'slo:budget_ns=5000' or 'bw-cap:gbps=8,gbps2=0.1' "
+                        "(overrides --scheduler; see "
+                        "`repro mc list-scheds`)")
+
+
+def _cmd_mc_list_scheds(_args: argparse.Namespace) -> int:
+    rows = [
+        (kind, info["params"] or "-", info["description"])
+        for kind, info in sched_descriptions().items()
+    ]
+    print(format_table(
+        ["scheduler", "params (defaults)", "description"], rows,
+        title="Registered scheduling policies"))
+    return 0
+
+
 def _cmd_mc_run(args: argparse.Namespace) -> int:
     depth = None if args.queue_depth == 0 else args.queue_depth
     if depth is not None and depth < 0:
@@ -436,6 +495,7 @@ def _cmd_mc_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     try:
+        scheduler, sched_params = _resolve_sched(args)
         config = McRunConfig(
             ath=args.ath,
             eth=args.eth,
@@ -449,7 +509,8 @@ def _cmd_mc_run(args: argparse.Namespace) -> int:
                 write_fraction=args.write_fraction,
             ),
             queue_depth=depth,
-            scheduler=args.scheduler,
+            scheduler=scheduler,
+            sched_params=sched_params,
             row_policy=args.row_policy,
             subchannels=args.subchannels,
             banks=args.banks,
@@ -503,7 +564,8 @@ def _print_system_result(result) -> None:
     )
     title = (
         f"{len(result.clients)} clients x {config.channels} channels "
-        f"under {config.policy.display_name()} L{config.abo_level} "
+        f"under {config.policy.display_name()} L{config.abo_level}, "
+        f"{config.sched_display()} "
         f"(ATH={config.ath}, ETH={config.eth_resolved}, "
         f"{config.banks} banks, {agg.alerts} ALERTs)"
     )
@@ -547,6 +609,7 @@ def _cmd_system_run(args: argparse.Namespace) -> int:
                     attack=AttackSpec.of(args.attacker, **params),
                 ),
             )
+        scheduler, sched_params = _resolve_sched(args)
         config = SystemRunConfig(
             clients=clients,
             channels=args.channels,
@@ -555,7 +618,8 @@ def _cmd_system_run(args: argparse.Namespace) -> int:
             abo_level=args.level,
             policy=PolicySpec(args.policy),
             queue_depth=depth,
-            scheduler=args.scheduler,
+            scheduler=scheduler,
+            sched_params=sched_params,
             row_policy=args.row_policy,
             subchannels=args.subchannels,
             banks=args.banks,
@@ -1163,8 +1227,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hot-set size per bank")
     mc_run.add_argument("--write-fraction", type=float, default=0.0,
                         help="fraction of requests that are writes")
-    mc_run.add_argument("--scheduler", choices=list(SCHEDULERS),
-                        default="frfcfs")
+    _add_sched_flags(mc_run)
     mc_run.add_argument("--row-policy", choices=list(ROW_POLICIES),
                         default="closed")
     mc_run.add_argument("--queue-depth", type=int, default=32,
@@ -1199,6 +1262,12 @@ def build_parser() -> argparse.ArgumentParser:
         "list-presets", help="list the mc sweep presets"
     )
     mc_list.set_defaults(func=_cmd_mc_list)
+
+    mc_list_scheds = mc_sub.add_parser(
+        "list-scheds",
+        help="list the registered scheduling policies",
+    )
+    mc_list_scheds.set_defaults(func=_cmd_mc_list_scheds)
 
     system = sub.add_parser(
         "system",
@@ -1244,8 +1313,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="hot-set size per bank")
     system_run.add_argument("--write-fraction", type=float, default=0.0,
                             help="fraction of requests that are writes")
-    system_run.add_argument("--scheduler", choices=list(SCHEDULERS),
-                            default="frfcfs")
+    _add_sched_flags(system_run)
     system_run.add_argument("--row-policy", choices=list(ROW_POLICIES),
                             default="closed")
     system_run.add_argument("--queue-depth", type=int, default=32,

@@ -2,21 +2,29 @@
 
 Request-driven simulation on top of the channel hierarchy: a
 :class:`Request` stream flows through per-bank queues of configurable
-depth, an FR-FCFS (or strict FCFS) scheduler, and an open/closed
-row-buffer policy; REF and ABO/ALERT recovery back-pressure the
-queues, so mitigation cost is measured as read-latency percentiles and
-achieved bandwidth instead of an open-loop stall fraction. The
-performance front-end lives in :mod:`repro.sim.mc`; request generators
-in :mod:`repro.workloads.requests`.
+depth, a pluggable scheduling policy (:mod:`repro.mc.sched`: FCFS,
+FR-FCFS, and the per-client QoS kinds), and an open/closed row-buffer
+policy; REF and ABO/ALERT recovery back-pressure the queues, so
+mitigation cost is measured as read-latency percentiles and achieved
+bandwidth instead of an open-loop stall fraction. The performance
+front-end lives in :mod:`repro.sim.mc`; request generators in
+:mod:`repro.workloads.requests`.
 """
 
 from repro.mc.controller import (
     McConfig,
     MemoryController,
     ROW_POLICIES,
-    SCHEDULERS,
 )
 from repro.mc.request import CompletedRequest, Request
+from repro.mc.sched import (
+    SCHEDULERS,
+    SchedPolicy,
+    SchedSpec,
+    sched_descriptions,
+    sched_display,
+    sched_kinds,
+)
 
 __all__ = [
     "CompletedRequest",
@@ -25,4 +33,9 @@ __all__ = [
     "ROW_POLICIES",
     "Request",
     "SCHEDULERS",
+    "SchedPolicy",
+    "SchedSpec",
+    "sched_descriptions",
+    "sched_display",
+    "sched_kinds",
 ]

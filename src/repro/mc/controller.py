@@ -20,12 +20,15 @@ Layering:
   :meth:`MemoryController.run` is the single-client special case.
 * **Queues** — one FIFO per (sub-channel, bank), depth
   :attr:`McConfig.queue_depth` (``None`` = unbounded).
-* **Scheduler** — ``"fcfs"`` issues strictly in arrival order
-  (replaying a trace through it is bit-identical to
+* **Scheduler** — a pluggable policy from the :mod:`repro.mc.sched`
+  registry. ``"fcfs"`` issues strictly in arrival order (replaying a
+  trace through it is bit-identical to
   :func:`repro.trace.replay_addresses`); ``"frfcfs"`` picks, among the
   requests that can issue earliest, row-buffer hits first and then the
   oldest (the classic FR-FCFS priority), exploiting bank-level
-  parallelism.
+  parallelism. The QoS kinds (``"priority"``, ``"bw-cap"``, ``"slo"``)
+  additionally read the crossbar's client tags to enforce per-client
+  isolation; see the sched module docstring.
 * **Row buffer** — ``"closed"`` page policy (the paper's baseline:
   every request activates) or ``"open"`` (a request to the currently
   open row is a column access through
@@ -49,9 +52,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.mc.request import CompletedRequest, Request
+from repro.mc.sched import (
+    SCHEDULERS,
+    is_fast_path_sched,
+    make_sched,
+    normalize_sched_params,
+    validate_sched,
+)
 from repro.sim.backend import (
     F_ADMIT,
     F_CMD_FREE,
@@ -72,9 +82,6 @@ from repro.sim.backend import (
 )
 from repro.sim.channel import ChannelSim
 
-#: Implemented scheduling disciplines.
-SCHEDULERS: Tuple[str, ...] = ("fcfs", "frfcfs")
-
 #: Implemented row-buffer policies.
 ROW_POLICIES: Tuple[str, ...] = ("closed", "open")
 
@@ -86,7 +93,13 @@ class McConfig:
     Args:
         queue_depth: Per-bank queue capacity; ``None`` removes the
             bound (requests are admitted the instant they arrive).
-        scheduler: ``"fcfs"`` or ``"frfcfs"`` (see module docstring).
+        scheduler: A registered scheduling kind (see
+            :mod:`repro.mc.sched`): ``"fcfs"``, ``"frfcfs"``, or one
+            of the QoS kinds (``"priority"``, ``"bw-cap"``, ``"slo"``).
+        sched_params: Scheduler parameters as ``(name, value)`` pairs
+            (normalized to name order); each kind declares the names
+            it accepts, and the empty default means the kind's own
+            defaults.
         row_policy: ``"closed"`` or ``"open"``.
         t_col: Service time of a row-buffer hit in nanoseconds
             (``None`` resolves to the DRAM timing's ``t_act``).
@@ -95,17 +108,17 @@ class McConfig:
 
     queue_depth: Optional[int] = 32
     scheduler: str = "frfcfs"
+    sched_params: Tuple[Tuple[str, Any], ...] = ()
     row_policy: str = "closed"
     t_col: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.queue_depth is not None and self.queue_depth < 1:
             raise ValueError("queue_depth must be at least 1 (or None)")
-        if self.scheduler not in SCHEDULERS:
-            raise ValueError(
-                f"unknown scheduler {self.scheduler!r}; "
-                f"known: {', '.join(SCHEDULERS)}"
-            )
+        object.__setattr__(
+            self, "sched_params", normalize_sched_params(self.sched_params)
+        )
+        validate_sched(self.scheduler, self.sched_params)
         if self.row_policy not in ROW_POLICIES:
             raise ValueError(
                 f"unknown row policy {self.row_policy!r}; "
@@ -303,6 +316,7 @@ class MemoryController:
         sub = channel.subchannels[0]
         if (
             n_clients == 1
+            and is_fast_path_sched(self.config.scheduler)
             and self.config.row_policy == "closed"
             and self.config.queue_depth is not None
             and self._num_subchannels == 1
@@ -353,7 +367,10 @@ class MemoryController:
                 self._validate(req)
 
         depth = self.config.queue_depth
-        frfcfs = self.config.scheduler == "frfcfs"
+        sched = make_sched(
+            self.config.scheduler, self.config.sched_params,
+            priorities, self._t_col, depth=depth,
+        )
         open_page = self.config.row_policy == "open"
         channel = self.channel
         n_subs, n_banks = self._num_subchannels, self._num_banks
@@ -405,10 +422,13 @@ class MemoryController:
                         open_row[sub_index] = [-1] * n_banks
 
             # Crossbar admission: one grant per pass over the eligible
-            # clients (head arrived, target queue has a slot), highest
-            # priority first, round-robin among equals.
+            # clients (head arrived, target queue has a slot, policy
+            # admits), highest admission priority first, round-robin
+            # among equals. The default policy hooks reproduce the
+            # plain static-priority crossbar exactly.
             while True:
                 chosen = -1
+                chosen_pri = 0.0
                 for offset in range(n_clients):
                     client = (last_grant + 1 + offset) % n_clients
                     head = heads[client]
@@ -422,11 +442,16 @@ class MemoryController:
                         and len(queues[req.subchannel][req.bank]) >= depth
                     ):
                         continue  # this client stalls; others proceed
-                    if chosen < 0 or priorities[client] > priorities[chosen]:
+                    if not sched.admit_ok(client, req, now):
+                        continue  # policy throttles this client's head
+                    pri = sched.admit_priority(client, req, now)
+                    if chosen < 0 or pri > chosen_pri:
                         chosen = client
+                        chosen_pri = pri
                 if chosen < 0:
                     break
                 req = ordered[chosen][heads[chosen]]
+                sched.note_admit(chosen, req, now)
                 enqueue = max(
                     req.issue_ns,
                     admit_floor[chosen],
@@ -440,11 +465,15 @@ class MemoryController:
                 last_grant = chosen
 
             if queued == 0:
-                # Nothing to issue: jump to the earliest client head.
-                # (Queues are all empty here, so no client is stalled
-                # on a full queue — every remaining head is future.)
+                # Nothing to issue: jump to the earliest admissible
+                # client head. (Queues are all empty here, so no client
+                # is stalled on a full queue — every remaining head is
+                # future, or held past `now` by the policy's admission
+                # horizon, e.g. a dry bw-cap token bucket.)
                 target = min(
-                    ordered[client][heads[client]].issue_ns
+                    sched.admit_horizon(
+                        client, ordered[client][heads[client]], now
+                    )
                     for client in range(n_clients)
                     if heads[client] < len(ordered[client])
                 )
@@ -453,8 +482,8 @@ class MemoryController:
                 now = max(now, target)
                 continue
 
-            sub, bank, pos, hit = self._pick(
-                queues, bank_free, cmd_free, now, frfcfs, open_page,
+            sub, bank, pos, hit = sched.pick(
+                queues, bank_free, cmd_free, now, open_page,
                 open_row, open_until,
             )
             queue = queues[sub][bank]
@@ -498,6 +527,7 @@ class MemoryController:
                     row_hit=hit,
                 )
             )
+            sched.note_complete(req, complete)
 
         channel.flush()
         return completed
@@ -975,69 +1005,6 @@ class MemoryController:
             requests=ordered, ridx=out_ridx, enqueue_ns=out_enq,
             start_ns=out_start, complete_ns=out_complete,
         )
-
-    # ------------------------------------------------------------------
-    # Scheduling
-    # ------------------------------------------------------------------
-
-    def _pick(
-        self,
-        queues,
-        bank_free,
-        cmd_free: float,
-        now: float,
-        frfcfs: bool,
-        open_page: bool,
-        open_row,
-        open_until,
-    ) -> Tuple[int, int, int, bool]:
-        """Choose the next command: ``(sub, bank, queue_pos, row_hit)``.
-
-        FCFS returns the globally oldest queued request. FR-FCFS ranks
-        each bank's best candidate (first row hit in the queue under
-        the open-page policy, else the head) by earliest possible
-        start, breaking ties hit-first then oldest-first — all floors
-        computed from the controller's own availability view, so the
-        choice is deterministic and independent of engine internals.
-
-        A hit only counts as one if the column access also *completes*
-        before the open row's REF boundary (``open_until``); a command
-        the engine would defer across the REF finds the row precharged.
-        """
-        best = None
-        for sub, bank_queues in enumerate(queues):
-            for bank, queue in enumerate(bank_queues):
-                if not queue:
-                    continue
-                pos = 0
-                hit = False
-                if open_page:
-                    row = open_row[sub][bank]
-                    est = max(now, cmd_free, bank_free[sub][bank])
-                    alive = (
-                        row >= 0
-                        and est + self._t_col <= open_until[sub][bank]
-                    )
-                    if alive and frfcfs:
-                        # FR-FCFS may pull a hit from anywhere in the
-                        # bank queue; FCFS only recognizes a hit that
-                        # happens to sit at the head.
-                        for i, (_, req, _) in enumerate(queue):
-                            if req.row == row:
-                                pos, hit = i, True
-                                break
-                    elif alive:
-                        hit = queue[0][1].row == row
-                entry_seq = queue[pos][0]
-                if frfcfs:
-                    est = max(now, cmd_free, bank_free[sub][bank])
-                    rank = (est, not hit, entry_seq)
-                else:
-                    rank = (entry_seq,)
-                if best is None or rank < best[0]:
-                    best = (rank, sub, bank, pos, hit)
-        assert best is not None
-        return best[1], best[2], best[3], best[4]
 
     # ------------------------------------------------------------------
     # Validation

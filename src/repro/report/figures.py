@@ -36,7 +36,7 @@ from repro.report import paper_values as pv
 #: Artifact families a figure source can come from, mapped by the
 #: pipeline onto (preset table, runner, artifact builder, baseline
 #: naming, schema, gated metrics).
-FAMILIES = ("sweep", "attack", "model")
+FAMILIES = ("sweep", "attack", "model", "system")
 
 Artifacts = Dict[str, Dict]
 
@@ -178,6 +178,16 @@ def _model_point(
         if p.get("kind") == kind and matched(p)
     ]
     return _one(matches, f"model:{preset} {kind} {params}")
+
+
+def _system_point(artifacts: Artifacts, preset: str, scenario: str) -> Dict:
+    """The unique system point of the named scenario."""
+    matches = [
+        p
+        for p in _points(artifacts, f"system:{preset}")
+        if p.get("scenario") == scenario
+    ]
+    return _one(matches, f"system:{preset} {scenario}")
 
 
 def _avg(points: Sequence[Dict], metric: str) -> float:
@@ -714,6 +724,48 @@ def _extract_sec71(arts: Artifacts) -> List[FigureRow]:
     return rows
 
 
+def _extract_qos(arts: Artifacts) -> List[FigureRow]:
+    """Fairness/isolation contrast of the QoS scheduling policies.
+
+    The headline quantity is attacker-induced *victim p99
+    degradation*: the worst victim's read p99 under the noisy scenario
+    divided by the same quantity in the quiet run. The unprotected
+    FR-FCFS contrast is gated against the paper-derived floor; each
+    QoS policy's row must land below the unprotected degradation
+    (asserted by the system-qos baseline tests).
+    """
+
+    def worst_victim_p99(scenario: str) -> float:
+        metrics = _system_point(arts, "system-qos", scenario)["metrics"]
+        return max(
+            metrics["victim0:read_p99_ns"], metrics["victim1:read_p99_ns"]
+        )
+
+    quiet = worst_victim_p99("quiet")
+    unprotected = worst_victim_p99("noisy-frfcfs") / quiet
+    rows = [
+        FigureRow(
+            "victim p99 degradation, frfcfs (unprotected)",
+            paper=float(pv.QOS_UNPROTECTED_DEGRADATION_MIN),
+            measured=unprotected,
+            note="paper value is a floor, not a point",
+        )
+    ]
+    for scenario, label in (
+        ("noisy-priority", "priority (victims at priority 1)"),
+        ("noisy-bwcap", "bw-cap (attacker capped at 0.1 GB/s)"),
+        ("noisy-slo", "slo (10us p99 budget gate)"),
+    ):
+        rows.append(
+            FigureRow(
+                f"victim p99 degradation, {label}",
+                measured=worst_victim_p99(scenario) / quiet,
+                note="must land below the unprotected contrast",
+            )
+        )
+    return rows
+
+
 # ---------------------------------------------------------------------------
 # The registry.
 
@@ -905,6 +957,14 @@ FIGURES: Dict[str, FigureSpec] = {
                 "MOAT_ENERGY_OVERHEAD_BOUND",
             ),
             extract=_extract_sec65,
+        ),
+        FigureSpec(
+            name="qos",
+            title="QoS — victim p99 isolation under ALERT storms",
+            section="Section 7 (extension)",
+            sources=_refs("system:system-qos"),
+            paper_values=("QOS_UNPROTECTED_DEGRADATION_MIN",),
+            extract=_extract_qos,
         ),
         FigureSpec(
             name="sec71",

@@ -158,3 +158,12 @@ ALERT_RATE_VS_L1 = {2: 0.52, 4: 0.27}
 
 #: Appendix D — average slowdown per level at ATH=64 (Figure 17a).
 FIG17_SLOWDOWN = {1: 0.0028, 2: 0.0034, 4: 0.0044}
+
+#: Section 7 (extension) — the paper shows PRAC performance attacks
+#: degrading co-located workloads (Figures 12/13) but publishes no
+#: per-client latency tails. The QoS figure gates the *contrast*
+#: instead: an unprotected FR-FCFS noisy-neighbor run must degrade
+#: victim read p99 by at least this factor over the quiet run (the
+#: committed baseline sits near ~350x), and every QoS scheduling
+#: policy must land below the unprotected degradation.
+QOS_UNPROTECTED_DEGRADATION_MIN = 2.0

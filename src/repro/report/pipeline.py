@@ -36,6 +36,8 @@ from repro.sweep.artifacts import (
     MODEL_GATED_METRICS,
     MODEL_SCHEMA,
     SCHEMA,
+    SYSTEM_GATED_METRICS,
+    SYSTEM_SCHEMA,
     check_against_baseline,
     default_baseline_path,
     git_revision,
@@ -49,6 +51,8 @@ from repro.sweep.model_runner import run_model_sweep
 from repro.sweep.model_spec import model_preset
 from repro.sweep.runner import ProgressFn, run_sweep
 from repro.sweep.spec import preset as sweep_preset
+from repro.sweep.system_runner import run_system_sweep
+from repro.sweep.system_spec import system_preset
 
 #: Schema of the machine-readable report artifact.
 REPORT_SCHEMA = "repro.report/v1"
@@ -155,6 +159,24 @@ def _run_model_source(ref: SourceRef, options: ReportOptions) -> Dict:
     return make_model_artifact(result)
 
 
+def _run_system_source(ref: SourceRef, options: ReportOptions) -> Dict:
+    from repro.sweep.artifacts import make_system_artifact
+
+    # Scenarios pin their own scale; only an explicit non-smoke
+    # ``n_trefi`` rescales them (the committed baselines are generated
+    # at the scenarios' native scale).
+    spec = system_preset(ref.preset)
+    if options.n_trefi != SMOKE_N_TREFI:
+        spec = spec.with_overrides(n_trefi=options.n_trefi)
+    result = run_system_sweep(
+        spec,
+        jobs=options.jobs,
+        cache_dir=options.cache_dir("system"),
+        progress=options.progress,
+    )
+    return make_system_artifact(result)
+
+
 #: family -> (source runner, baseline file stem, schema, gated metrics).
 _FAMILIES = {
     "sweep": (_run_sweep_source, "{0}", SCHEMA, GATED_METRICS),
@@ -162,6 +184,8 @@ _FAMILIES = {
                ATTACK_GATED_METRICS),
     "model": (_run_model_source, "model_{0}", MODEL_SCHEMA,
               MODEL_GATED_METRICS),
+    "system": (_run_system_source, "system_{0}", SYSTEM_SCHEMA,
+               SYSTEM_GATED_METRICS),
 }
 
 

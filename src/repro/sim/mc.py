@@ -29,12 +29,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dram.refresh import CounterResetPolicy
 from repro.dram.timing import DramTiming, DDR5_PRAC_TIMING
 from repro.mc.controller import McConfig, MemoryController, ServedBatch
 from repro.mc.request import Request
+from repro.mc.sched import (
+    normalize_sched_params,
+    sched_display,
+    validate_sched,
+)
 from repro.mitigations.registry import PolicySpec, RunParams
 from repro.sim.channel import ChannelConfig, ChannelSim
 from repro.sim.engine import SimConfig
@@ -60,7 +65,10 @@ class McRunConfig:
     workload: McWorkload = field(default_factory=McWorkload)
     #: Per-bank queue capacity; ``None`` = unbounded.
     queue_depth: Optional[int] = 32
+    #: Scheduling kind from the :mod:`repro.mc.sched` registry, plus
+    #: its parameters as ``(name, value)`` pairs (empty = defaults).
     scheduler: str = "frfcfs"
+    sched_params: Tuple[Tuple[str, Any], ...] = ()
     row_policy: str = "closed"
     #: Channel geometry. The controller simulates every bank it
     #: generates traffic for, so no cross-bank service modelling is
@@ -76,6 +84,15 @@ class McRunConfig:
     #: then ``"pure"``). Equivalence-gated — results are bit-identical
     #: across backends, so this is hashed out of sweep identities.
     backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Fail fast at configuration time (not inside a sweep worker):
+        # the sched registry is the single source of truth for kind
+        # and parameter validation, shared with McConfig.
+        object.__setattr__(
+            self, "sched_params", normalize_sched_params(self.sched_params)
+        )
+        validate_sched(self.scheduler, self.sched_params)
 
     @property
     def eth_resolved(self) -> int:
@@ -94,8 +111,13 @@ class McRunConfig:
         return McConfig(
             queue_depth=self.queue_depth,
             scheduler=self.scheduler,
+            sched_params=self.sched_params,
             row_policy=self.row_policy,
         )
+
+    def sched_display(self) -> str:
+        """``kind`` or ``kind(k=v,...)`` — the artifact spelling."""
+        return sched_display(self.scheduler, self.sched_params)
 
 
 @dataclass
@@ -348,7 +370,7 @@ def _summarize(
         ath=config.ath,
         eth=config.eth_resolved,
         abo_level=config.abo_level,
-        scheduler=config.scheduler,
+        scheduler=config.sched_display(),
         row_policy=config.row_policy,
         queue_depth=config.queue_depth,
         subchannels=subchannels,

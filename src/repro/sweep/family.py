@@ -307,6 +307,7 @@ SYSTEM_FAMILY = SweepFamily(
         "scenario": r.scenario,
         "clients": list(r.clients),
         "policy": r.policy,
+        "scheduler": r.scheduler,
         "ath": r.ath,
         "eth": r.eth,
         "abo_level": r.abo_level,

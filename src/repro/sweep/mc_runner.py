@@ -150,7 +150,7 @@ def execute_mc_point(point: McSweepPoint) -> McPointResult:
         ath=config.ath,
         eth=config.eth_resolved,
         abo_level=config.abo_level,
-        scheduler=config.scheduler,
+        scheduler=config.sched_display(),
         row_policy=config.row_policy,
         queue_depth=config.queue_depth,
         subchannels=config.subchannels,

@@ -43,9 +43,12 @@ from repro.workloads.requests import McWorkload
 MC_RESULT_VERSION = 1
 
 #: Additive axes mapped to their neutral value (same convention as the
-#: perf sweep's spec); empty while the family is young — reserved so
-#: future axes can be introduced without invalidating baselines.
-_NEUTRAL_AXES: Dict[str, Any] = {}
+#: perf sweep's spec): ``sched_params`` landed with the pluggable
+#: scheduling layer, and its empty spelling (the kind's defaults,
+#: which is what every pre-existing point ran) hashes out so all
+#: committed baselines and cache entries survive. ``_canonical``
+#: renders the tuple-of-pairs as a JSON list, hence the ``[]``.
+_NEUTRAL_AXES: Dict[str, Any] = {"sched_params": []}
 
 
 @dataclass(frozen=True)
@@ -64,7 +67,7 @@ class McSweepPoint:
             f"{c.workload.display_name()}|{c.policy.display_name()}"
             f"|ath={c.ath}|eth={c.eth_resolved}|L{c.abo_level}"
             f"|tpm={c.trefi_per_mitigation_resolved}"
-            f"|{c.scheduler}|{c.row_policy}|qd={depth}"
+            f"|{c.sched_display()}|{c.row_policy}|qd={depth}"
             f"{sc}|b{c.banks}|trefi={c.n_trefi}|seed={c.seed}"
         )
 

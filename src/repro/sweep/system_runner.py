@@ -39,6 +39,7 @@ class SystemPointResult:
     scenario: str
     clients: List[str]
     policy: str
+    scheduler: str
     ath: int
     eth: int
     abo_level: int
@@ -57,6 +58,7 @@ class SystemPointResult:
             "scenario": self.scenario,
             "clients": self.clients,
             "policy": self.policy,
+            "scheduler": self.scheduler,
             "ath": self.ath,
             "eth": self.eth,
             "abo_level": self.abo_level,
@@ -78,6 +80,9 @@ class SystemPointResult:
             scenario=str(data["scenario"]),
             clients=[str(name) for name in data["clients"]],
             policy=str(data["policy"]),
+            # Pre-QoS artifacts carried no scheduler field; every one
+            # of them ran the then-hardwired FR-FCFS.
+            scheduler=str(data.get("scheduler", "frfcfs")),
             ath=int(data["ath"]),
             eth=int(data["eth"]),
             abo_level=int(data["abo_level"]),
@@ -149,6 +154,7 @@ def execute_system_point(point: SystemSweepPoint) -> SystemPointResult:
         scenario=point.scenario,
         clients=[client.name for client in config.clients],
         policy=config.policy.display_name(),
+        scheduler=config.sched_display(),
         ath=config.ath,
         eth=config.eth_resolved,
         abo_level=config.abo_level,

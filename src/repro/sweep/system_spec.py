@@ -10,9 +10,10 @@ family (resolved-value hashing via
 :func:`~repro.system.sim.system_config_payload`).
 
 :data:`SYSTEM_PRESETS` names the scenario sets: the CI smoke gate
-(solo / contended duo / undefended duo), the sharding scale-out, and
-the noisy-neighbor contrast whose baseline pins the victim-p99
-degradation story.
+(solo / contended duo / undefended duo), the sharding scale-out, the
+noisy-neighbor contrast whose baseline pins the victim-p99
+degradation story, and the QoS matrix that re-runs the noisy cast
+under every scheduling policy from the :mod:`repro.mc.sched` registry.
 """
 
 from __future__ import annotations
@@ -50,9 +51,13 @@ class SystemSweepPoint:
         """Stable human-readable identity (artifact/baseline key)."""
         c = self.config
         depth = "inf" if c.queue_depth is None else str(c.queue_depth)
+        # The scheduler segment appears only for non-default policies,
+        # so every pre-QoS key spelling survives verbatim.
+        sched = c.sched_display()
+        sched_seg = f"|{sched}" if sched != "frfcfs" else ""
         return (
             f"{self.scenario}|{c.display_name()}"
-            f"|{c.policy.display_name()}"
+            f"|{c.policy.display_name()}{sched_seg}"
             f"|ath={c.ath}|eth={c.eth_resolved}|L{c.abo_level}"
             f"|ch{c.channels}|qd={depth}|b{c.banks}"
             f"|trefi={c.n_trefi}|seed={c.seed}"
@@ -153,6 +158,12 @@ ATTACKER_CLIENT = ClientSpec(
     attack=AttackSpec.of("kernel-single", total_acts=200_000),
 )
 
+#: The victims again, lifted to crossbar priority 1 — the client mix
+#: the ``priority`` scheduling policy protects in the QoS preset.
+PRIORITIZED_VICTIMS: Tuple[ClientSpec, ...] = tuple(
+    dataclasses.replace(client, priority=1) for client in VICTIM_CLIENTS
+)
+
 SYSTEM_PRESETS: Dict[str, SystemSweepSpec] = {
     spec.name: spec
     for spec in (
@@ -237,6 +248,69 @@ SYSTEM_PRESETS: Dict[str, SystemSweepSpec] = {
                     SystemRunConfig(
                         clients=VICTIM_CLIENTS + (ATTACKER_CLIENT,),
                         policy=PolicySpec("null"),
+                        ath=32,
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+            ),
+        ),
+        SystemSweepSpec(
+            name="system-qos",
+            description="QoS under the ALERT storm: the noisy-neighbor "
+            "cast at ATH=32 under every scheduling policy — unprotected "
+            "FR-FCFS vs strict priority (victims prioritized), a "
+            "per-client bandwidth cap on the attacker, and the p99 "
+            "budget gate (victim p99 degradation per policy is the "
+            "gated contrast)",
+            scenarios=(
+                (
+                    "quiet",
+                    SystemRunConfig(
+                        clients=VICTIM_CLIENTS,
+                        ath=32,
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+                (
+                    "noisy-frfcfs",
+                    SystemRunConfig(
+                        clients=VICTIM_CLIENTS + (ATTACKER_CLIENT,),
+                        ath=32,
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+                (
+                    "noisy-priority",
+                    SystemRunConfig(
+                        clients=PRIORITIZED_VICTIMS + (ATTACKER_CLIENT,),
+                        scheduler="priority",
+                        ath=32,
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+                (
+                    "noisy-bwcap",
+                    SystemRunConfig(
+                        clients=VICTIM_CLIENTS + (ATTACKER_CLIENT,),
+                        scheduler="bw-cap",
+                        # Generous default quota; the attacker (client
+                        # 2) alone is squeezed well under its ~1.2 GB/s
+                        # natural hammer rate.
+                        sched_params=(("gbps", 8.0), ("gbps2", 0.1)),
+                        ath=32,
+                        banks=2,
+                        n_trefi=512,
+                    ),
+                ),
+                (
+                    "noisy-slo",
+                    SystemRunConfig(
+                        clients=VICTIM_CLIENTS + (ATTACKER_CLIENT,),
+                        scheduler="slo",
                         ath=32,
                         banks=2,
                         n_trefi=512,

@@ -46,6 +46,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dram.timing import DramTiming, DDR5_PRAC_TIMING
 from repro.mc.controller import MemoryController
+from repro.mc.sched import (
+    normalize_sched_params,
+    sched_display,
+    slo_budget_ns,
+    validate_sched,
+)
 from repro.mitigations.registry import PolicySpec
 from repro.sim.mc import LINE_BYTES, McResult, McRunConfig, _percentile, build_mc_channel
 from repro.system.crossbar import ClientSpec, client_requests
@@ -75,7 +81,11 @@ class SystemRunConfig:
     policy: PolicySpec = field(default_factory=PolicySpec)
     trefi_per_mitigation: Optional[int] = None
     queue_depth: Optional[int] = 32
+    #: Scheduling kind from the :mod:`repro.mc.sched` registry plus
+    #: its ``(name, value)`` parameters — the QoS axis: every channel
+    #: shard's crossbar and scheduler enforce the same policy.
     scheduler: str = "frfcfs"
+    sched_params: Tuple[Tuple[str, object], ...] = ()
     row_policy: str = "closed"
     subchannels: int = 1
     banks: int = 4
@@ -93,6 +103,12 @@ class SystemRunConfig:
             raise ValueError(f"client names must be unique, got {names}")
         if self.channels < 1:
             raise ValueError("channels must be at least 1")
+        # Fail fast here rather than inside a shard worker; the sched
+        # registry owns the validation (shared with McConfig).
+        object.__setattr__(
+            self, "sched_params", normalize_sched_params(self.sched_params)
+        )
+        validate_sched(self.scheduler, self.sched_params)
 
     @property
     def eth_resolved(self) -> int:
@@ -116,6 +132,7 @@ class SystemRunConfig:
             workload=self.clients[0].workload,
             queue_depth=self.queue_depth,
             scheduler=self.scheduler,
+            sched_params=self.sched_params,
             row_policy=self.row_policy,
             subchannels=self.subchannels,
             banks=self.banks,
@@ -130,6 +147,10 @@ class SystemRunConfig:
         if len(self.clients) == 1:
             return self.clients[0].display_name()
         return "+".join(client.name for client in self.clients)
+
+    def sched_display(self) -> str:
+        """``kind`` or ``kind(k=v,...)`` — the artifact spelling."""
+        return sched_display(self.scheduler, self.sched_params)
 
 
 def system_config_payload(config: SystemRunConfig) -> Dict[str, object]:
@@ -148,6 +169,11 @@ def system_config_payload(config: SystemRunConfig) -> Dict[str, object]:
     payload["trefi_per_mitigation"] = (
         config.mc_run_config().trefi_per_mitigation_resolved
     )
+    # The sched-params axis landed after the family's baselines were
+    # committed; its empty spelling (the kind's defaults, what every
+    # pre-existing shard ran) hashes out so they all survive.
+    if not payload.get("sched_params"):
+        payload.pop("sched_params", None)
     for client, data in zip(config.clients, payload["clients"]):
         if client.attack is not None:
             data["workload"] = _canonical(McWorkload())
@@ -186,6 +212,10 @@ class ClientShardStats:
     queue_ns: float
     #: Sorted read latencies — raw, so system percentiles merge exactly.
     read_latencies: List[float]
+    #: Reads whose latency exceeded the run's SLO budget (0 unless the
+    #: ``slo`` scheduler defined one) — the gating decisions of the
+    #: policy, observable in artifacts.
+    slo_misses: int = 0
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -195,6 +225,7 @@ class ClientShardStats:
             "row_hits": self.row_hits,
             "queue_ns": self.queue_ns,
             "read_latencies": self.read_latencies,
+            "slo_misses": self.slo_misses,
         }
 
     @staticmethod
@@ -206,6 +237,8 @@ class ClientShardStats:
             row_hits=int(data["row_hits"]),
             queue_ns=float(data["queue_ns"]),
             read_latencies=[float(v) for v in data["read_latencies"]],
+            # Tolerate shards cached before the counter existed.
+            slo_misses=int(data.get("slo_misses", 0)),
         )
 
 
@@ -282,6 +315,7 @@ def execute_system_shard(shard: ChannelShard) -> ShardResult:
         streams, [client.priority for client in config.clients]
     )
     horizon = config.n_trefi * config.timing.t_refi
+    budget = slo_budget_ns(config.scheduler, config.sched_params)
     per_client: List[ClientShardStats] = []
     for index in range(len(config.clients)):
         mine = [c for c in completed if c.request.client == index]
@@ -296,6 +330,10 @@ def execute_system_shard(shard: ChannelShard) -> ShardResult:
                 row_hits=sum(1 for c in mine if c.row_hit),
                 queue_ns=sum(c.queue_ns for c in mine),
                 read_latencies=latencies,
+                slo_misses=(
+                    sum(1 for lat in latencies if lat > budget)
+                    if budget is not None else 0
+                ),
             )
         )
     return ShardResult(
@@ -327,6 +365,9 @@ class ClientMetrics:
     avg_queue_ns: float
     avg_queue_occupancy: float
     achieved_gbps: float
+    #: Reads over the run's SLO budget (0 unless the ``slo`` scheduler
+    #: defined one).
+    slo_misses: int = 0
 
     @property
     def row_hit_rate(self) -> float:
@@ -339,6 +380,7 @@ class ClientMetrics:
         return {
             "requests": float(self.requests),
             "reads": float(self.reads),
+            "writes": float(self.writes),
             "read_mean_ns": self.read_mean_ns,
             "read_p50_ns": self.read_p50_ns,
             "read_p99_ns": self.read_p99_ns,
@@ -347,6 +389,7 @@ class ClientMetrics:
             "avg_queue_occupancy": self.avg_queue_occupancy,
             "achieved_gbps": self.achieved_gbps,
             "row_hit_rate": self.row_hit_rate,
+            "slo_misses": float(self.slo_misses),
         }
 
 
@@ -429,6 +472,7 @@ def _assemble(
                 achieved_gbps=(
                     requests * LINE_BYTES / elapsed_ns if elapsed_ns else 0.0
                 ),
+                slo_misses=sum(s.slo_misses for s in stats),
             )
         )
 
@@ -448,7 +492,7 @@ def _assemble(
         ath=config.ath,
         eth=config.eth_resolved,
         abo_level=config.abo_level,
-        scheduler=config.scheduler,
+        scheduler=config.sched_display(),
         row_policy=config.row_policy,
         queue_depth=config.queue_depth,
         subchannels=config.subchannels * config.channels,

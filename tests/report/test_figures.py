@@ -20,12 +20,13 @@ from repro.report.pipeline import (
 from repro.sweep.attack_spec import ATTACK_PRESETS
 from repro.sweep.model_spec import MODEL_PRESETS
 from repro.sweep.spec import PRESETS
+from repro.sweep.system_spec import SYSTEM_PRESETS
 
 #: Model-only figures cheap enough to execute end-to-end in a unit test.
 CHEAP_FIGURES = ("fig8", "table1", "table3", "sec71", "fig15")
 
 _PRESET_TABLES = {"sweep": PRESETS, "attack": ATTACK_PRESETS,
-                  "model": MODEL_PRESETS}
+                  "model": MODEL_PRESETS, "system": SYSTEM_PRESETS}
 
 
 def public_paper_values():
@@ -53,7 +54,7 @@ class TestRegistry:
             "fig1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12",
             "fig13", "fig15", "fig16", "fig17", "table1", "table2",
             "table3", "table4", "table5", "table6", "table7",
-            "motivation", "sec65", "sec71",
+            "motivation", "qos", "sec65", "sec71",
         }
 
 

@@ -1,0 +1,77 @@
+"""The committed ``system-qos`` baseline must tell the QoS story.
+
+These tests gate the *artifact*, not the simulator: the checked-in
+baseline (what CI pins bit-exactly) has to show an ALERT-storm
+attacker degrading victim tails under unprotected FR-FCFS, and every
+registered QoS policy pulling that degradation down. If a scheduler
+change improves or worsens isolation, the baseline regeneration must
+keep this ordering or the change is wrong.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.report.paper_values import QOS_UNPROTECTED_DEGRADATION_MIN
+
+BASELINE = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks" / "baselines" / "system_system-qos.json"
+)
+
+#: scenario -> the policy it runs (display spelling, pinned).
+QOS_SCENARIOS = {
+    "noisy-priority": "priority",
+    "noisy-bwcap": "bw-cap(gbps=8,gbps2=0.1)",
+    "noisy-slo": "slo",
+}
+
+
+@pytest.fixture(scope="module")
+def points():
+    data = json.loads(BASELINE.read_text())
+    by_scenario = {p["scenario"]: p for p in data["points"].values()}
+    assert set(by_scenario) == {"quiet", "noisy-frfcfs", *QOS_SCENARIOS}
+    return by_scenario
+
+
+def worst_victim_p99(point):
+    metrics = point["metrics"]
+    return max(
+        metrics["victim0:read_p99_ns"], metrics["victim1:read_p99_ns"]
+    )
+
+
+class TestQosBaseline:
+    def test_scenarios_record_their_scheduler(self, points):
+        assert points["quiet"]["scheduler"] == "frfcfs"
+        assert points["noisy-frfcfs"]["scheduler"] == "frfcfs"
+        for scenario, scheduler in QOS_SCENARIOS.items():
+            assert points[scenario]["scheduler"] == scheduler
+
+    def test_unprotected_attack_degrades_victim_tails(self, points):
+        quiet = worst_victim_p99(points["quiet"])
+        noisy = worst_victim_p99(points["noisy-frfcfs"])
+        assert noisy / quiet > QOS_UNPROTECTED_DEGRADATION_MIN
+
+    @pytest.mark.parametrize("scenario", sorted(QOS_SCENARIOS))
+    def test_every_qos_policy_beats_unprotected_frfcfs(
+        self, points, scenario
+    ):
+        unprotected = worst_victim_p99(points["noisy-frfcfs"])
+        assert worst_victim_p99(points[scenario]) < unprotected
+
+    def test_admission_policies_restore_quiet_tails(self, points):
+        """bw-cap and slo gate the attacker at admission, so victims
+        land within 2x of the attack-free baseline — the strongest
+        isolation claim the report's qos figure narrates."""
+        quiet = worst_victim_p99(points["quiet"])
+        for scenario in ("noisy-bwcap", "noisy-slo"):
+            assert worst_victim_p99(points[scenario]) < 2.0 * quiet
+
+    def test_slo_misses_single_out_the_attacker(self, points):
+        metrics = points["noisy-slo"]["metrics"]
+        assert metrics["attacker:slo_misses"] > 0
+        assert metrics["victim0:slo_misses"] == 0
+        assert metrics["victim1:slo_misses"] == 0

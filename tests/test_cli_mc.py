@@ -160,3 +160,41 @@ class TestSweep:
         code, _ = run_mc_sweep_cli(tmp_path)
         assert code == 0
         assert "4 cached" in capsys.readouterr().out
+
+
+class TestScheds:
+    def test_list_scheds_covers_the_registry(self, capsys):
+        from repro.mc.sched import SCHEDULERS
+
+        assert main(["mc", "list-scheds"]) == 0
+        out = capsys.readouterr().out
+        for name in SCHEDULERS:
+            assert name in out
+        # Defaults are printed so --sched params are discoverable.
+        assert "budget_ns=10000" in out
+        assert "gbps=1" in out
+
+    def test_sched_flag_runs_a_parameterized_policy(self, capsys):
+        assert main(["mc", "run", "--sched", "slo:budget_ns=5000",
+                     "--trefi", "64", "--banks", "2"]) == 0
+        assert "slo(budget_ns=5000)" in capsys.readouterr().out
+
+    def test_sched_flag_overrides_scheduler_flag(self, capsys):
+        assert main(["mc", "run", "--scheduler", "fcfs",
+                     "--sched", "priority", "--trefi", "64",
+                     "--banks", "2"]) == 0
+        assert "priority" in capsys.readouterr().out
+
+    def test_unknown_sched_kind_is_a_usage_error(self, capsys):
+        assert main(["mc", "run", "--sched", "elevator"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scheduler 'elevator'" in err
+        assert "fcfs, frfcfs, priority, bw-cap, slo" in err
+
+    def test_unknown_sched_param_is_a_usage_error(self, capsys):
+        assert main(["mc", "run", "--sched", "slo:bogus=1"]) == 2
+        assert "unknown sched param 'bogus'" in capsys.readouterr().err
+
+    def test_malformed_sched_param_is_a_usage_error(self, capsys):
+        assert main(["mc", "run", "--sched", "slo:budget_ns"]) == 2
+        assert "expected k=v" in capsys.readouterr().err

@@ -207,3 +207,19 @@ class TestSharedFlagSurface:
         assert code == 0
         assert explicit.is_dir()
         assert not (root / "system").exists()
+
+
+class TestScheds:
+    def test_sched_flag_reaches_the_system_run(self, capsys):
+        assert main(["system", "run", "--clients", "2",
+                     "--sched", "bw-cap:gbps=8,gbps1=0.5",
+                     "--trefi", "64", "--banks", "2", "--jobs", "1",
+                     "--quiet"]) == 0
+        assert "bw-cap(gbps=8,gbps1=0.5)" in capsys.readouterr().out
+
+    def test_indexed_param_beyond_clients_is_a_usage_error(self, capsys):
+        assert main(["system", "run", "--clients", "2",
+                     "--sched", "bw-cap:gbps5=0.5",
+                     "--trefi", "64", "--banks", "2", "--jobs", "1",
+                     "--quiet"]) == 2
+        assert "targets client 5" in capsys.readouterr().err
