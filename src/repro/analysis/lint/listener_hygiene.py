@@ -1,0 +1,111 @@
+"""The ``listener-hygiene`` rule: event listeners always detach.
+
+PR 3 fixed a double-counting bug caused by a mitigation listener that
+outlived its attack: a reused engine kept feeding a stale log. The
+sanctioned idioms since then are the :func:`repro.attacks.base.
+subscribed` context manager and owner objects with ``__enter__`` /
+``__exit__`` (:class:`~repro.attacks.base.MitigationLog`), both of
+which guarantee detachment on every exit path.
+
+This rule flags raw attachments outside those idioms:
+
+* ``<x>.append(...)`` where the target is a ``*listeners`` list
+  (``sim.mitigation_listeners.append(cb)``), and
+* ``.subscribe(...)`` / ``.add_listener(...)`` /
+  ``.register_listener(...)`` / ``.attach_listener(...)`` calls,
+
+unless the attachment happens inside a ``@contextmanager``-decorated
+function, inside a method of a class that defines ``__exit__``, or as
+the context expression of a ``with`` statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint.core import FileContext, Finding
+
+NAME = "listener-hygiene"
+
+DESCRIPTION = (
+    "listener attachments (*listeners.append / .subscribe-style "
+    "calls) happen inside a context-managed helper"
+)
+
+_ATTACH_METHODS = frozenset({
+    "subscribe", "add_listener", "register_listener", "attach_listener",
+})
+
+
+def _is_listener_list(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith("listeners")
+    if isinstance(node, ast.Name):
+        return node.id.endswith("listeners")
+    return False
+
+
+def _is_contextmanager_decorated(fn: ast.AST) -> bool:
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    for decorator in fn.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id in (
+                "contextmanager", "asynccontextmanager"):
+            return True
+        if isinstance(target, ast.Attribute) and target.attr in (
+                "contextmanager", "asynccontextmanager"):
+            return True
+    return False
+
+
+def _defines_exit(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name == "__exit__"
+        for stmt in cls.body
+    )
+
+
+def _sanctioned(ctx: FileContext, node: ast.AST) -> bool:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.withitem):
+            return True
+        if _is_contextmanager_decorated(ancestor):
+            return True
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for enclosing in ctx.ancestors(ancestor):
+                if isinstance(enclosing, ast.ClassDef):
+                    if _defines_exit(enclosing):
+                        return True
+                    break
+    return False
+
+
+def _attachment_kind(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "append" and _is_listener_list(func.value):
+        return "appending to a listener list"
+    if func.attr in _ATTACH_METHODS:
+        return f".{func.attr}() attachment"
+    return None
+
+
+def check(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = _attachment_kind(node)
+        if kind is None:
+            continue
+        if _sanctioned(ctx, node):
+            continue
+        yield ctx.finding(NAME, node, (
+            f"{kind} outside a context-managed helper leaks the "
+            "listener on the first exception (the PR-3 bug class); "
+            "attach via subscribed(...) or an owner with "
+            "__enter__/__exit__"
+        ))

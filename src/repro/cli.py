@@ -1007,6 +1007,62 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_rule_names(value: Optional[str]) -> Optional[List[str]]:
+    """``"a,b"`` -> ``["a", "b"]`` (None/empty stays None)."""
+    if not value:
+        return None
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis rules; exit 0 clean / 1 findings."""
+    import json
+
+    from repro.analysis.lint import (
+        format_findings,
+        make_lint_artifact,
+        rule_descriptions,
+        run_lint,
+    )
+
+    if args.list_rules:
+        rows = [
+            (name, info["scope"], info["description"])
+            for name, info in rule_descriptions().items()
+        ]
+        print(format_table(["rule", "scope", "description"], rows,
+                           title="Registered lint rules"))
+        return 0
+
+    root = Path(args.root) if args.root else None
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    try:
+        result = run_lint(
+            paths=paths,
+            select=_split_rule_names(args.select),
+            ignore=_split_rule_names(args.ignore),
+            root=root,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            json.dumps(make_lint_artifact(result), indent=2,
+                       sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.format == "json":
+        print(json.dumps(make_lint_artifact(result), indent=2,
+                         sort_keys=True))
+    else:
+        print(format_findings(result))
+    return 0 if result.clean else 1
+
+
 #: Rows printed by ``--profile`` (top functions by cumulative time).
 _PROFILE_TOP_N = 25
 
@@ -1463,6 +1519,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     workloads = sub.add_parser("workloads", help="list Table 4 profiles")
     workloads.set_defaults(func=_cmd_workloads)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis rules (determinism, "
+        "hash-neutrality, numba-subset, registry-coverage, "
+        "listener-hygiene)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                      "(default: <root>/src)")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule names to run "
+                      "(default: all; see --list-rules)")
+    lint.add_argument("--ignore", default=None, metavar="RULES",
+                      help="comma-separated rule names to skip")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text",
+                      help="report format (json emits the "
+                      "repro.lint/v1 artifact)")
+    lint.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the repro.lint/v1 JSON "
+                      "artifact to PATH")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help="repo root for relative paths and "
+                      "registry-coverage (default: git toplevel)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule registry and exit")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

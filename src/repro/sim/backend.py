@@ -426,6 +426,8 @@ class Backend:
             backend has ``use_kernels=True, compiled=False``.
         act_burst: The engine ACT-burst kernel (``None`` for pure).
         serve_closed: The controller serve kernel (``None`` for pure).
+        description: One-line description surfaced by ``repro backend``
+            listings and the lint registry-coverage rule.
     """
 
     name: str
@@ -433,12 +435,26 @@ class Backend:
     compiled: bool
     act_burst: Optional[Callable] = None
     serve_closed: Optional[Callable] = None
+    description: str = ""
 
 
-_PURE = Backend(name="pure", use_kernels=False, compiled=False)
+_PURE = Backend(
+    name="pure", use_kernels=False, compiled=False,
+    description="reference event-loop interpreter, no kernels; the "
+    "semantics the other backends must match bit-for-bit",
+)
 _KERNEL = Backend(
     name="kernel", use_kernels=True, compiled=False,
     act_burst=_act_burst, serve_closed=_serve_closed,
+    description="struct-of-arrays hot-loop kernels, interpreted; "
+    "same source functions the numba backend compiles",
+)
+#: Registration metadata for the numba backend, kept outside
+#: :func:`_jit_backend` so listings can describe it without importing
+#: numba.
+_NUMBA_DESCRIPTION = (
+    "njit-compiled struct-of-arrays kernels ([fast] extra); falls "
+    "back to 'pure' when numba is missing"
 )
 _NUMBA: Optional[Backend] = None
 _WARNED_FALLBACK = False
@@ -454,8 +470,35 @@ def _jit_backend() -> Backend:
             name="numba", use_kernels=True, compiled=True,
             act_burst=njit(cache=True)(_act_burst),
             serve_closed=njit(cache=True)(_serve_closed),
+            description=_NUMBA_DESCRIPTION,
         )
     return _NUMBA
+
+
+def backend_descriptions() -> "dict":
+    """Name -> {description, use_kernels, compiled} for listings.
+
+    The ``numba`` entry is described from its registration metadata
+    without importing numba (the jitted Backend object is only built
+    on first resolve).
+    """
+    return {
+        "pure": {
+            "description": _PURE.description,
+            "use_kernels": _PURE.use_kernels,
+            "compiled": _PURE.compiled,
+        },
+        "kernel": {
+            "description": _KERNEL.description,
+            "use_kernels": _KERNEL.use_kernels,
+            "compiled": _KERNEL.compiled,
+        },
+        "numba": {
+            "description": _NUMBA_DESCRIPTION,
+            "use_kernels": True,
+            "compiled": True,
+        },
+    }
 
 
 def resolve_backend(name: Optional[str] = None) -> Backend:

@@ -1,0 +1,41 @@
+"""Shared helpers for the lint fixture tests: build a FileContext
+from an inline snippet without touching the real tree."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from textwrap import dedent
+from typing import List
+
+import pytest
+
+from repro.analysis.lint.core import FileContext, Finding
+
+
+def make_context(source: str, rel_path: str = "sim/snippet.py") -> FileContext:
+    """A FileContext for an inline snippet at a pretend location."""
+    cleaned = dedent(source)
+    return FileContext(
+        path=Path("/fixture") / rel_path,
+        rel_path=rel_path,
+        source=cleaned,
+        tree=ast.parse(cleaned),
+    )
+
+
+def run_rule(checker, source: str,
+             rel_path: str = "sim/snippet.py", **params) -> List[Finding]:
+    """Run one file-scope checker over a snippet, suppressions applied."""
+    ctx = make_context(source, rel_path)
+    return [f for f in checker(ctx, **params) if not ctx.is_suppressed(f)]
+
+
+@pytest.fixture
+def lint_ctx():
+    return make_context
+
+
+@pytest.fixture
+def lint_rule():
+    return run_rule

@@ -1,0 +1,114 @@
+"""Fixture tests for the ``determinism`` lint rule."""
+
+from __future__ import annotations
+
+from repro.analysis.lint.determinism import check
+
+
+def test_module_level_random_flagged(lint_rule):
+    findings = lint_rule(check, """
+        import random
+        x = random.random()
+    """, rel_path="mc/controller.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "determinism"
+    assert "process-global RNG" in findings[0].message
+    assert findings[0].line == 3
+
+
+def test_from_import_alias_flagged(lint_rule):
+    findings = lint_rule(check, """
+        from random import shuffle as mix
+        mix(items)
+    """, rel_path="attacks/feinting.py")
+    assert len(findings) == 1
+
+
+def test_seeded_random_instance_allowed(lint_rule):
+    findings = lint_rule(check, """
+        import random
+        rng = random.Random(cfg.seed)
+        value = rng.random()
+    """, rel_path="sim/engine.py")
+    assert findings == []
+
+
+def test_unseeded_random_instance_flagged(lint_rule):
+    findings = lint_rule(check, """
+        import random
+        rng = random.Random()
+    """, rel_path="sim/engine.py")
+    assert len(findings) == 1
+    assert "unseeded" in findings[0].message
+
+
+def test_system_random_flagged(lint_rule):
+    findings = lint_rule(check, """
+        import random
+        rng = random.SystemRandom()
+    """, rel_path="system/scenario.py")
+    assert len(findings) == 1
+
+
+def test_wall_clock_flagged_perf_counter_allowed(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        start = time.perf_counter()
+        stamp = time.time()
+        ns = time.time_ns()
+    """, rel_path="workloads/requests.py")
+    assert [f.line for f in findings] == [4, 5]
+
+
+def test_datetime_now_flagged(lint_rule):
+    findings = lint_rule(check, """
+        import datetime
+        stamp = datetime.datetime.now()
+    """, rel_path="mc/sched.py")
+    assert len(findings) == 1
+    assert "host date" in findings[0].message
+
+
+def test_set_iteration_flagged(lint_rule):
+    findings = lint_rule(check, """
+        for bank in {1, 2, 3}:
+            touch(bank)
+        rows = [r for r in set(dirty)]
+        safe = [r for r in sorted(set(dirty))]
+    """, rel_path="sim/mc.py")
+    assert len(findings) == 2
+    assert all("sorted" in f.message for f in findings)
+
+
+def test_outside_scoped_packages_ignored(lint_rule):
+    findings = lint_rule(check, """
+        import random
+        x = random.random()
+    """, rel_path="report/tables.py")
+    assert findings == []
+
+
+def test_scope_matches_directories_not_filenames(lint_rule):
+    # A file *named* sim.py outside the packages is out of scope...
+    assert lint_rule(check, "import random\nx = random.random()\n",
+                     rel_path="report/sim.py") == []
+    # ...while any nesting under a scoped directory is in scope.
+    assert len(lint_rule(check, "import random\nx = random.random()\n",
+                         rel_path="repro/sim/deep/helper.py")) == 1
+
+
+def test_same_line_suppression(lint_rule):
+    findings = lint_rule(check, """
+        import random
+        x = random.random()  # repro-lint: disable=determinism
+        y = random.random()
+    """, rel_path="mc/controller.py")
+    assert [f.line for f in findings] == [4]
+
+
+def test_suppression_all_wildcard(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        t = time.time()  # repro-lint: disable=all
+    """, rel_path="sim/perf.py")
+    assert findings == []

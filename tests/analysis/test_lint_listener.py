@@ -1,0 +1,87 @@
+"""Fixture tests for the ``listener-hygiene`` lint rule."""
+
+from __future__ import annotations
+
+from repro.analysis.lint.listener_hygiene import check
+
+
+def test_raw_append_flagged(lint_rule):
+    findings = lint_rule(check, """
+        def run(sim, cb):
+            sim.mitigation_listeners.append(cb)
+    """, rel_path="attacks/demo.py")
+    assert len(findings) == 1
+    assert "listener list" in findings[0].message
+
+
+def test_subscribe_call_flagged(lint_rule):
+    findings = lint_rule(check, """
+        def run(bus, cb):
+            bus.subscribe(cb)
+    """, rel_path="attacks/demo.py")
+    assert len(findings) == 1
+    assert ".subscribe()" in findings[0].message
+
+
+def test_contextmanager_sanctions(lint_rule):
+    findings = lint_rule(check, """
+        import contextlib
+
+        @contextlib.contextmanager
+        def subscribed(listeners, cb):
+            listeners.append(cb)
+            try:
+                yield
+            finally:
+                listeners.remove(cb)
+    """, rel_path="attacks/base.py")
+    assert findings == []
+
+
+def test_exit_owner_class_sanctions(lint_rule):
+    findings = lint_rule(check, """
+        class Log:
+            def __init__(self, sim):
+                sim.mitigation_listeners.append(self._on_event)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+    """, rel_path="attacks/base.py")
+    assert findings == []
+
+
+def test_class_without_exit_still_flagged(lint_rule):
+    findings = lint_rule(check, """
+        class Leaky:
+            def __init__(self, sim):
+                sim.mitigation_listeners.append(self._on_event)
+    """, rel_path="attacks/demo.py")
+    assert len(findings) == 1
+
+
+def test_with_statement_sanctions(lint_rule):
+    findings = lint_rule(check, """
+        def run(bus, cb):
+            with bus.subscribe(cb):
+                pass
+    """, rel_path="attacks/demo.py")
+    assert findings == []
+
+
+def test_non_listener_append_ignored(lint_rule):
+    findings = lint_rule(check, """
+        def run(rows, value):
+            rows.append(value)
+    """, rel_path="attacks/demo.py")
+    assert findings == []
+
+
+def test_suppression_applies(lint_rule):
+    findings = lint_rule(check, """
+        def run(sim, cb):
+            sim.mitigation_listeners.append(cb)  # repro-lint: disable=listener-hygiene
+    """, rel_path="attacks/demo.py")
+    assert findings == []
