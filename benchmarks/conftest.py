@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 
 import pytest
 
+from repro.obs import run_provenance
 from repro.report.figures import FigureRow
 from repro.report.pipeline import (
     FigureResult,
@@ -97,9 +98,11 @@ def record_json(request):
     """Merge one benchmark's metrics into ``results/summary.json``.
 
     Each call replaces the entry under the benchmark's key with the
-    latest measurement (stamped with time and git revision), keeping
-    the file a current, machine-diffable snapshot rather than an
-    append-only log (that is ``summary.txt``'s job).
+    latest measurement (stamped with a full provenance block: schema
+    version, package version, resolved backend, git describe, ISO
+    timestamp — all injected here, never read inside sim scope),
+    keeping the file a current, machine-diffable snapshot rather than
+    an append-only log (that is ``summary.txt``'s job).
     """
 
     def _record(payload: Dict[str, object], key: str = "") -> None:
@@ -116,6 +119,7 @@ def record_json(request):
             "git_rev": git_revision(),
             "n_trefi": N_TREFI,
             "fast_mode": FAST,
+            "provenance": run_provenance(),
             **payload,
         }
         path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")

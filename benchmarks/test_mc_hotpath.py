@@ -32,6 +32,7 @@ import time
 
 from benchmarks.conftest import FAST
 from repro.mc.controller import MemoryController
+from repro.obs import TraceRecorder
 from repro.report.tables import format_table
 from repro.sim.backend import numba_available
 from repro.sim.mc import McRunConfig, build_mc_channel, run_mc
@@ -105,6 +106,81 @@ def test_mc_hotpath_throughput(report, record_json):
     assert requests_per_s >= REQUIRED_REQUESTS_PER_S, (
         f"mc hot path served only {requests_per_s:.0f} requests/s "
         f"(need {REQUIRED_REQUESTS_PER_S:.0f})"
+    )
+
+
+def test_mc_tracing_overhead(report, record_json):
+    """Null-recorder tracing must be free; enabled tracing, recorded.
+
+    The disabled path (every component on :data:`NULL_RECORDER`) is
+    the path every benchmark and sweep runs; its throughput must stay
+    above the catastrophe floor, and its result must be bit-identical
+    to the traced run — attaching a recorder changes observations,
+    never outcomes. Enabled-tracing throughput is recorded (not gated:
+    collecting the full event stream legitimately costs).
+    """
+    config = _hammer_config()
+
+    disabled_s = None
+    disabled = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = run_mc(config)
+        elapsed = time.perf_counter() - started
+        if disabled_s is None or elapsed < disabled_s:
+            disabled_s, disabled = elapsed, result
+
+    enabled_s = None
+    enabled = None
+    recorder = None
+    for _ in range(ROUNDS):
+        fresh = TraceRecorder()
+        started = time.perf_counter()
+        result = run_mc(config, recorder=fresh)
+        elapsed = time.perf_counter() - started
+        if enabled_s is None or elapsed < enabled_s:
+            enabled_s, enabled, recorder = elapsed, result, fresh
+
+    assert dataclasses.asdict(enabled) == dataclasses.asdict(disabled), (
+        "tracing changed the simulation result"
+    )
+    assert recorder.count("alert") == enabled.alerts, (
+        "ALERT events do not reconcile with the alerts counter"
+    )
+
+    disabled_rps = disabled.requests / disabled_s
+    enabled_rps = enabled.requests / enabled_s
+    overhead_frac = enabled_s / disabled_s - 1.0
+    report(
+        format_table(
+            ["path", "requests / s", "events"],
+            [
+                ("tracing disabled", f"{disabled_rps:,.0f}", "-"),
+                ("tracing enabled", f"{enabled_rps:,.0f}",
+                 f"{len(recorder):,}"),
+                ("enabled overhead", f"{overhead_frac:+.1%}", ""),
+            ],
+            title="MC tracing - null recorder vs full event stream "
+            "(bit-identical results)",
+        )
+    )
+    record_json(
+        {
+            "requests": disabled.requests,
+            "disabled_requests_per_s": disabled_rps,
+            "enabled_requests_per_s": enabled_rps,
+            "enabled_overhead_frac": overhead_frac,
+            "events": len(recorder),
+            "alert_events": recorder.count("alert"),
+            "alerts": enabled.alerts,
+            "n_trefi": N_TREFI,
+            "required_requests_per_s": REQUIRED_REQUESTS_PER_S,
+        },
+        key="mc_tracing",
+    )
+    assert disabled_rps >= REQUIRED_REQUESTS_PER_S, (
+        f"disabled-tracing path served only {disabled_rps:.0f} "
+        f"requests/s (need {REQUIRED_REQUESTS_PER_S:.0f})"
     )
 
 

@@ -13,8 +13,9 @@ the simulation packages (``sim``, ``mc``, ``system``, ``attacks``,
   spelling (see :func:`repro.mitigations.registry._build_para`);
 * wall-clock reads that could leak into results: ``time.time()`` /
   ``time.time_ns()``, ``datetime.now()`` / ``utcnow()`` / ``today()``
-  (``time.perf_counter`` stays legal: it feeds only the
-  ``wall_clock_s`` telemetry, which is never baseline-gated);
+  (monotonic clocks like ``time.perf_counter`` are out of scope here —
+  the ``telemetry-purity`` rule confines them to the sanctioned
+  telemetry scopes repo-wide);
 * iteration over sets (literals, comprehensions, ``set()`` /
   ``frozenset()`` calls, ``.union``-style results): set order depends
   on hash seeding, so results fed from a bare set walk are not
@@ -116,8 +117,8 @@ def check(ctx: FileContext,
                 yield ctx.finding(NAME, node, (
                     f"time.{chain[1]}() reads the wall clock; results "
                     "must depend only on the run config (use the "
-                    "simulated clock, or time.perf_counter for "
-                    "telemetry-only wall time)"
+                    "simulated clock, or wall_timer() from "
+                    "repro.sweep.runner for telemetry-only wall time)"
                 ))
             elif chain[-1] in _DATETIME_FNS and (
                     "datetime" in chain[:-1] or "date" in chain[:-1]):

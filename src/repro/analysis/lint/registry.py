@@ -35,6 +35,7 @@ from repro.analysis.lint import (
     listener_hygiene,
     numba_subset,
     registry_coverage,
+    telemetry_purity,
 )
 from repro.analysis.lint.core import (
     Finding,
@@ -103,6 +104,13 @@ _REGISTRY: Dict[str, RuleSpec] = {
             scope="file",
             checker=listener_hygiene.check,
             description=listener_hygiene.DESCRIPTION,
+        ),
+        RuleSpec(
+            name=telemetry_purity.NAME,
+            scope="file",
+            checker=telemetry_purity.check,
+            description=telemetry_purity.DESCRIPTION,
+            params=(("allowed", telemetry_purity.DEFAULT_ALLOWED),),
         ),
     )
 }

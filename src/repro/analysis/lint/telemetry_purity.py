@@ -1,0 +1,99 @@
+"""The ``telemetry-purity`` rule: wall-clock reads stay in telemetry.
+
+The ``determinism`` rule bans wall-clock reads *that could leak into
+results* (``time.time``, ``datetime.now``) from simulation scope, but
+historically exempted ``time.perf_counter`` wholesale because it fed
+only the never-gated ``wall_clock_s`` telemetry. That blanket
+exemption is a loophole: nothing stopped a perf-counter read from
+creeping into a simulated quantity, and nothing confined host-time
+measurement to the orchestration layer where it belongs.
+
+This rule closes it. Every monotonic/CPU-clock read —
+``time.perf_counter``, ``time.monotonic``, ``time.process_time``,
+``time.thread_time``, and their ``_ns`` variants — is permitted only
+in the sanctioned telemetry scopes:
+
+* ``repro/obs/`` — the observability layer (provenance, wall-time
+  fields of orchestration telemetry);
+* ``repro/sweep/runner.py`` — home of :func:`~repro.sweep.runner.
+  wall_timer`, the single sanctioned wall-clock read every runner and
+  executor funnels through;
+* ``benchmarks/`` — throughput measurement is its entire point.
+
+Everything else (simulation scope *and* the other sweep/orchestration
+modules) must call ``wall_timer()``; event timestamps in traces come
+from the engine's simulated clocks, never from the host. Unlike the
+simulation-scoped rules, this one applies to every linted file — a
+wall-clock read outside the allowlist is a finding wherever it sits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.lint.core import (
+    FileContext,
+    Finding,
+    dotted_chain,
+    import_aliases,
+    normalize_chain,
+)
+
+NAME = "telemetry-purity"
+
+DESCRIPTION = (
+    "wall-clock reads (time.perf_counter & co.) only in obs/, "
+    "sweep/runner.py, and benchmarks/; everything else uses "
+    "wall_timer(), and trace timestamps carry sim time"
+)
+
+#: Wall-clock / CPU-clock functions of :mod:`time` confined to the
+#: allowlisted telemetry scopes.
+_CLOCK_FNS = frozenset({
+    "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns",
+    "thread_time", "thread_time_ns",
+})
+
+#: Scopes where wall-clock reads are sanctioned. Bare tokens match any
+#: directory segment of the file's relative path; entries containing a
+#: slash match as a relative-path suffix.
+DEFAULT_ALLOWED: Tuple[str, ...] = (
+    "obs",
+    "benchmarks",
+    "sweep/runner.py",
+)
+
+
+def _is_allowed(ctx: FileContext, allowed: Tuple[str, ...]) -> bool:
+    rel = "/".join(ctx.path_parts)
+    for entry in allowed:
+        if "/" in entry:
+            if rel.endswith(entry):
+                return True
+        elif entry in ctx.path_parts[:-1]:
+            return True
+    return False
+
+
+def check(ctx: FileContext,
+          allowed: Tuple[str, ...] = DEFAULT_ALLOWED) -> Iterator[Finding]:
+    if _is_allowed(ctx, allowed):
+        return
+    modules, members = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if chain is None:
+            continue
+        chain = normalize_chain(chain, modules, members)
+        if chain[0] == "time" and len(chain) == 2 and chain[1] in _CLOCK_FNS:
+            yield ctx.finding(NAME, node, (
+                f"time.{chain[1]}() reads the host clock outside the "
+                "telemetry scopes (obs/, sweep/runner.py, benchmarks/); "
+                "use repro.sweep.runner.wall_timer() for orchestration "
+                "telemetry — sim-time fields come from engine clocks"
+            ))

@@ -35,6 +35,11 @@ Commands:
 * ``model`` — print an analytical model's table (Table 2, Figure 10,
   Table 7 Safe-TRH, Section 7 throughput).
 * ``workloads`` — list the Table 4 profiles.
+* ``obs`` — observability traces: ``obs summarize`` prints the event
+  counts / latency histograms / provenance of a recorded
+  ``repro.obs/v1`` trace (``mc run --trace-out`` / ``system run
+  --trace-out``), ``obs export`` converts one to a pure
+  Perfetto/Chrome trace-event JSON file.
 """
 
 from __future__ import annotations
@@ -96,6 +101,15 @@ from repro.sweep.family import (
     PERF_FAMILY,
     SYSTEM_FAMILY,
     SweepFamily,
+)
+from repro.obs import (
+    TraceRecorder,
+    artifact_events,
+    load_obs_artifact,
+    make_obs_artifact,
+    run_provenance,
+    summarize_obs,
+    write_perfetto,
 )
 from repro.sweep.runner import stderr_progress
 from repro.system import ClientSpec, STREAMABLE_ATTACKS, SystemRunConfig, run_system
@@ -488,6 +502,43 @@ def _cmd_mc_list_scheds(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared tracing flags of ``mc run``/``system run``."""
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record the typed event trace and write a repro.obs/v1 "
+        "artifact to PATH (Perfetto-loadable; results are "
+        "bit-identical with tracing on or off)")
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="print the observability summary (event counts, latency "
+        "histograms, provenance) after the run")
+
+
+def _run_recorder(args: argparse.Namespace, **meta):
+    """A :class:`repro.obs.TraceRecorder` when ``--trace-out``/``--obs``
+    was requested, else ``None`` (the run stays on the null recorder)."""
+    if not (args.trace_out or args.obs):
+        return None
+    return TraceRecorder(meta=meta)
+
+
+def _emit_obs(args: argparse.Namespace, recorder,
+              n_trefi: int, t_refi_ns: float) -> None:
+    """Write/print the observability outputs of a traced run."""
+    artifact = make_obs_artifact(
+        recorder, n_trefi=n_trefi, t_refi_ns=t_refi_ns,
+    )
+    if args.trace_out:
+        out_path = Path(args.trace_out)
+        write_artifact(out_path, artifact)
+        print(f"trace artifact: {out_path} ({len(recorder)} events)",
+              file=sys.stderr)
+    if args.obs:
+        print(format_table(["field", "value"], summarize_obs(artifact),
+                           title="Observability summary"))
+
+
 def _cmd_mc_run(args: argparse.Namespace) -> int:
     depth = None if args.queue_depth == 0 else args.queue_depth
     if depth is not None and depth < 0:
@@ -517,6 +568,10 @@ def _cmd_mc_run(args: argparse.Namespace) -> int:
             n_trefi=args.trefi,
             seed=args.seed,
         )
+        recorder = _run_recorder(
+            args, command="mc run", policy=args.policy,
+            scheduler=scheduler, n_trefi=args.trefi, seed=args.seed,
+        )
         if args.trace:
             trace = load_trace(args.trace)
             if not isinstance(trace, AddressTrace):
@@ -526,13 +581,16 @@ def _cmd_mc_run(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            result = run_mc_trace(trace, config)
+            result = run_mc_trace(trace, config, recorder=recorder)
         else:
-            result = run_mc(config)
+            result = run_mc(config, recorder=recorder)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _print_mc_result(result)
+    if recorder is not None:
+        _emit_obs(args, recorder, n_trefi=config.n_trefi,
+                  t_refi_ns=config.timing.t_refi)
     return 0
 
 
@@ -626,16 +684,25 @@ def _cmd_system_run(args: argparse.Namespace) -> int:
             n_trefi=args.trefi,
             seed=args.seed,
         )
+        recorder = _run_recorder(
+            args, command="system run", policy=args.policy,
+            scheduler=scheduler, clients=len(clients),
+            channels=args.channels, n_trefi=args.trefi, seed=args.seed,
+        )
         result = run_system(
             config,
             jobs=args.jobs,
             cache_dir=Path(args.cache_dir) if args.cache_dir else None,
             progress=stderr_progress(args.quiet),
+            recorder=recorder,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _print_system_result(result)
+    if recorder is not None:
+        _emit_obs(args, recorder, n_trefi=config.n_trefi,
+                  t_refi_ns=config.timing.t_refi)
     return 0
 
 
@@ -839,7 +906,20 @@ def _run_family_sweep(
     )
     render_table(result, args)
 
-    artifact = family.make_artifact(result)
+    # Provenance is opt-in (--obs): without it the artifact stays
+    # byte-identical run to run, and the gate never sees the block
+    # either way (diff_artifacts compares points only).
+    provenance = None
+    if args.obs:
+        seed = getattr(spec, "seed", None)
+        provenance = run_provenance(
+            config_hash=spec.sweep_hash(),
+            seeds=None if seed is None else {"seed": seed},
+            cache=result.cache_stats,
+            extra={"family": family.name, "preset": spec.name,
+                   "jobs": args.jobs},
+        )
+    artifact = family.make_artifact(result, provenance=provenance)
     return _emit_artifact_and_gate(args, artifact, family, spec.name)
 
 
@@ -1007,6 +1087,28 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Summarize or export a recorded ``repro.obs/v1`` trace."""
+    try:
+        artifact = load_obs_artifact(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "summarize":
+        print(format_table(["field", "value"], summarize_obs(artifact),
+                           title=str(args.path)))
+        return 0
+    # export: strip the artifact down to a pure Chrome trace-event file
+    # (the artifact itself is already Perfetto-loadable; this drops the
+    # repro-specific keys for tools that validate strictly).
+    out_path = (Path(args.out) if args.out
+                else Path(args.path).with_suffix(".perfetto.json"))
+    meta = artifact.get("meta") or None
+    write_perfetto(out_path, artifact_events(artifact), meta=meta)
+    print(f"perfetto trace: {out_path}", file=sys.stderr)
+    return 0
+
+
 def _split_rule_names(value: Optional[str]) -> Optional[List[str]]:
     """``"a,b"`` -> ``["a", "b"]`` (None/empty stays None)."""
     if not value:
@@ -1148,6 +1250,11 @@ def _add_sweep_common_flags(
                         help="disable the per-point result cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress on stderr")
+    parser.add_argument("--obs", action="store_true",
+                        help="record run provenance (config hash, "
+                        "backend, seed schedule, cache hit/miss "
+                        "statistics, per-run timing) into the "
+                        "artifact's provenance block")
     _add_backend_flag(parser)
 
 
@@ -1300,6 +1407,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "see `repro trace synth`)")
     _add_backend_flag(mc_run)
     _add_profile_flag(mc_run)
+    _add_obs_flags(mc_run)
     mc_run.set_defaults(func=_cmd_mc_run)
 
     mc_sweep = mc_sub.add_parser(
@@ -1391,6 +1499,7 @@ def build_parser() -> argparse.ArgumentParser:
     system_run.add_argument("--quiet", action="store_true",
                             help="suppress per-shard progress on stderr")
     _add_backend_flag(system_run)
+    _add_obs_flags(system_run)
     system_run.set_defaults(func=_cmd_system_run)
 
     system_sweep = system_sub.add_parser(
@@ -1520,11 +1629,35 @@ def build_parser() -> argparse.ArgumentParser:
     workloads = sub.add_parser("workloads", help="list Table 4 profiles")
     workloads.set_defaults(func=_cmd_workloads)
 
+    obs = sub.add_parser(
+        "obs",
+        help="summarize or export recorded observability traces "
+        "(see `mc run --trace-out` / `system run --trace-out`)",
+    )
+    obs_sub = obs.add_subparsers(dest="action", required=True)
+    obs_summarize = obs_sub.add_parser(
+        "summarize",
+        help="print event counts, latency histograms, and provenance "
+        "of a repro.obs/v1 trace",
+    )
+    obs_summarize.add_argument("path", help="repro.obs/v1 artifact path")
+    obs_summarize.set_defaults(func=_cmd_obs)
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="convert a repro.obs/v1 trace to a pure Perfetto/Chrome "
+        "trace-event JSON file",
+    )
+    obs_export.add_argument("path", help="repro.obs/v1 artifact path")
+    obs_export.add_argument("--out", default=None, metavar="PATH",
+                            help="output path (default: "
+                            "<path>.perfetto.json)")
+    obs_export.set_defaults(func=_cmd_obs)
+
     lint = sub.add_parser(
         "lint",
         help="run the repo's static-analysis rules (determinism, "
         "hash-neutrality, numba-subset, registry-coverage, "
-        "listener-hygiene)",
+        "listener-hygiene, telemetry-purity)",
     )
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to lint "

@@ -62,6 +62,7 @@ from repro.mc.sched import (
     normalize_sched_params,
     validate_sched,
 )
+from repro.obs.recorder import NULL_RECORDER, record_batch_events
 from repro.sim.backend import (
     F_ADMIT,
     F_CMD_FREE,
@@ -241,6 +242,10 @@ class MemoryController:
         #: Kernel backend shared with the engine (same resolution, so
         #: the controller and its channel always agree on a choice).
         self._backend = resolve_backend(channel.config.sim.backend)
+        #: Observability sink (:mod:`repro.obs`). Queue events are
+        #: derived post hoc from the served batch, so recorder presence
+        #: never changes dispatch and never touches the serving loops.
+        self.recorder = NULL_RECORDER
 
     def run(self, requests: List[Request]) -> List[CompletedRequest]:
         """Serve every request; returns completions in issue order.
@@ -331,10 +336,17 @@ class MemoryController:
             and channel._cmd_free == 0.0
             and not any(sub._bank_free)
         ):
-            return self._run_fast(list(streams[0]))
-        return ServedBatch.from_completions(
-            self.run_streams_reference(streams, priorities)
-        )
+            batch = self._run_fast(list(streams[0]))
+        else:
+            batch = ServedBatch.from_completions(
+                self.run_streams_reference(streams, priorities)
+            )
+        # Post-hoc event derivation: one linear pass over the SoA batch
+        # when tracing is on, one attribute read when it is off. The
+        # dispatch above is recorder-blind by construction.
+        if self.recorder.enabled:
+            record_batch_events(self.recorder, batch)
+        return batch
 
     def run_streams_reference(
         self,

@@ -1,0 +1,89 @@
+"""Typed trace events with simulated-time stamps.
+
+One :class:`TraceEvent` records one thing the stack did at a simulated
+nanosecond — an ACT burst retiring on a bank, a REF occupying a
+sub-channel, an ALERT episode stalling it, a request moving through a
+controller queue, a crossbar grant. Events carry **sim time only**
+(``ts_ns``/``dur_ns`` are engine-clock nanoseconds, never wall clock):
+a trace recorded twice from the same config is identical, so traces
+diff like results do.
+
+The registered kinds:
+
+==============  ====================================================
+kind            emitted by / meaning
+==============  ====================================================
+``act-burst``   engine: a run of back-to-back ACTs to one bank
+                (``value`` = ACT count, ``ts_ns`` = last issue time)
+``ref``         engine: one REF occupying the sub-channel for tRFC
+``alert``       engine: an ALERT assertion; ``dur_ns`` spans the ACT
+                window plus the RFM stall, ``value`` = ABO level
+``queue-admit`` controller: a request entered its per-bank queue
+``queue-stall`` controller: front-end blocking before admission
+                (``dur_ns`` = arrival to admission)
+``queue-issue`` controller: command issue; ``dur_ns`` = service time,
+                ``value`` = time spent queued (enqueue to issue)
+``grant``       crossbar: a client's request won admission
+``complete``    controller: request done; ``value`` = total latency
+==============  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Registered event kinds, in display order (Perfetto track order).
+EVENT_KINDS: Tuple[str, ...] = (
+    "act-burst",
+    "ref",
+    "alert",
+    "queue-admit",
+    "queue-stall",
+    "queue-issue",
+    "grant",
+    "complete",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        kind: One of :data:`EVENT_KINDS`.
+        ts_ns: Simulated start time in nanoseconds (engine clock).
+        dur_ns: Simulated duration; 0 for instantaneous events.
+        sub: Global sub-channel index (channel * subchannels + local).
+        bank: Bank index, or -1 when the event has no bank scope.
+        client: Crossbar client index, or -1 outside the system layer.
+        value: Kind-specific payload (ACT count, ABO level, queue ns,
+            latency ns — see the module docstring's table).
+    """
+
+    kind: str
+    ts_ns: float
+    dur_ns: float = 0.0
+    sub: int = 0
+    bank: int = -1
+    client: int = -1
+    value: float = 0.0
+
+    def to_row(self) -> List[object]:
+        """Compact JSON row (the ``repro.obs/v1`` events encoding)."""
+        return [self.kind, self.ts_ns, self.dur_ns, self.sub,
+                self.bank, self.client, self.value]
+
+    @classmethod
+    def from_row(cls, row: Sequence[object]) -> "TraceEvent":
+        """Revive an event from its :meth:`to_row` encoding."""
+        kind, ts_ns, dur_ns, sub, bank, client, value = row
+        return cls(
+            kind=str(kind),
+            ts_ns=float(ts_ns),
+            dur_ns=float(dur_ns),
+            sub=int(sub),
+            bank=int(bank),
+            client=int(client),
+            value=float(value),
+        )

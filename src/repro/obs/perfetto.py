@@ -1,0 +1,81 @@
+"""Chrome/Perfetto trace-event JSON export.
+
+Maps the recorded event stream onto the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``ui.perfetto.dev`` and ``chrome://tracing``: each
+sub-channel becomes a process, each event kind becomes a thread-like
+track inside it, duration events render as slices ("X") and
+zero-duration events as instants ("i"). Timestamps are microseconds in
+the format, so simulated nanoseconds are divided by 1000;
+``displayTimeUnit`` keeps the UI readout in ns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.events import EVENT_KINDS, TraceEvent
+
+#: Track (tid) index per event kind, in :data:`EVENT_KINDS` order.
+_KIND_TID: Dict[str, int] = {kind: i for i, kind in enumerate(EVENT_KINDS)}
+
+
+def to_perfetto(events: Iterable[TraceEvent],
+                meta: Optional[Dict[str, object]] = None
+                ) -> Dict[str, object]:
+    """Build a Perfetto-loadable trace-event dict from events."""
+    trace_events: List[Dict[str, object]] = []
+    subs_seen = set()
+    kinds_seen = set()
+    for event in events:
+        tid = _KIND_TID.get(event.kind, len(EVENT_KINDS))
+        record: Dict[str, object] = {
+            "name": event.kind,
+            "cat": "repro",
+            "ph": "X" if event.dur_ns > 0 else "i",
+            "ts": event.ts_ns / 1000.0,
+            "pid": event.sub,
+            "tid": tid,
+            "args": {
+                "bank": event.bank,
+                "client": event.client,
+                "value": event.value,
+            },
+        }
+        if event.dur_ns > 0:
+            record["dur"] = event.dur_ns / 1000.0
+        else:
+            record["s"] = "t"
+        trace_events.append(record)
+        subs_seen.add(event.sub)
+        kinds_seen.add((event.sub, event.kind, tid))
+    for sub in sorted(subs_seen):
+        trace_events.append({
+            "name": "process_name", "ph": "M", "pid": sub, "tid": 0,
+            "args": {"name": f"subchannel {sub}"},
+        })
+    for sub, kind, tid in sorted(kinds_seen, key=lambda k: (k[0], k[2])):
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": sub, "tid": tid,
+            "args": {"name": kind},
+        })
+    trace: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+    }
+    if meta:
+        trace["otherData"] = dict(meta)
+    return trace
+
+
+def write_perfetto(path, events: Iterable[TraceEvent],
+                   meta: Optional[Dict[str, object]] = None) -> Path:
+    """Write the Perfetto JSON for ``events`` to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(to_perfetto(events, meta), indent=None,
+                   separators=(",", ":"), sort_keys=True) + "\n")
+    return target

@@ -125,6 +125,21 @@ class ChannelSim:
         #: Earliest time the channel front-end may issue a command.
         self._cmd_free = 0.0
 
+    def attach_recorder(self, recorder, base: int = 0) -> None:
+        """Point every sub-channel at an observability recorder.
+
+        Args:
+            recorder: A :class:`repro.obs.TraceRecorder` (or the null
+                recorder to detach).
+            base: Global index of this channel's first sub-channel —
+                multi-channel system runs offset each shard by
+                ``channel * num_subchannels`` so merged traces keep
+                distinct tracks.
+        """
+        for index, sub in enumerate(self.subchannels):
+            sub.recorder = recorder
+            sub._rec_sub = base + index
+
     # ------------------------------------------------------------------
     # Traffic entry points
     # ------------------------------------------------------------------

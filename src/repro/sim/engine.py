@@ -37,6 +37,7 @@ from repro.dram.timing import DramTiming, DDR5_PRAC_TIMING
 from repro.mitigations.base import MitigationPolicy
 from repro.mitigations.moat import MoatPolicy
 from repro.mitigations.null import NullPolicy
+from repro.obs.recorder import NULL_RECORDER
 from repro.sim.backend import (
     F_CMD_FREE,
     F_E_NOW,
@@ -242,6 +243,12 @@ class SubchannelSim:
         self.postpone_refs = False
         #: Listeners notified on every aggressor mitigation.
         self.mitigation_listeners: List[MitigationListener] = []
+        #: Observability sink (:mod:`repro.obs`). The null default keeps
+        #: every emission guard a single attribute read on cold code;
+        #: the SoA hot loops above are never instrumented at all.
+        self.recorder = NULL_RECORDER
+        #: Global sub-channel index stamped into emitted events.
+        self._rec_sub = 0
         # --- statistics -------------------------------------------------
         self.total_acts = 0
         self.alerts = 0
@@ -290,6 +297,9 @@ class SubchannelSim:
 
         # ALERT asserts during the precharge of the triggering ACT.
         self._maybe_assert_alert(complete)
+        if self.recorder.enabled:
+            self.recorder.emit("act-burst", start, sub=self._rec_sub,
+                               bank=bank, value=1.0)
         return ActResult(time=start, count=effective, alert_pending=self.abo.alert_pending)
 
     def activate_many(
@@ -379,6 +389,9 @@ class SubchannelSim:
                 self.total_acts += acts
                 bank_obj.note_activations(acts)
                 abo.note_activations(acts)
+                if self.recorder.enabled:
+                    self.recorder.emit("act-burst", now, sub=self._rec_sub,
+                                       bank=bank, value=float(acts))
             if alerting:
                 policy.alert_requested = False
                 abo.request_alert()
@@ -474,6 +487,10 @@ class SubchannelSim:
                 self.total_acts += acts
                 bank_obj.note_activations(acts)
                 abo.note_activations(acts)
+                if self.recorder.enabled:
+                    self.recorder.emit("act-burst", last_start,
+                                       sub=self._rec_sub, bank=bank,
+                                       value=float(acts))
             if istate[I_ALERT]:
                 # The triggering ACT already committed inside the
                 # kernel; request the ALERT exactly as the pure loop
@@ -700,6 +717,9 @@ class SubchannelSim:
                 self._proactive_mitigation(index, start)
 
         end = start + self.timing.t_rfc
+        if self.recorder.enabled:
+            self.recorder.emit("ref", start, self.timing.t_rfc,
+                               sub=self._rec_sub)
         # An ALERT request raised during REF may assert right after it.
         self._maybe_assert_alert(end)
         return end
@@ -755,6 +775,14 @@ class SubchannelSim:
             stall_end=stall_end,
         )
         self.alerts += 1
+        # Every execution path funnels ALERT assertion through this
+        # method, so this single emission site reconciles exactly with
+        # the ``alerts`` counter by construction.
+        if self.recorder.enabled:
+            self.recorder.emit("alert", episode.assert_time,
+                               stall_end - episode.assert_time,
+                               sub=self._rec_sub,
+                               value=float(self.abo.config.level))
 
     def _finish_episode(self) -> float:
         """Apply the in-flight episode's RFM mitigations; returns the

@@ -258,8 +258,15 @@ def build_mc_channel(
     )
 
 
-def run_mc(config: McRunConfig = McRunConfig()) -> McResult:
-    """Synthesize the configured request stream and serve it."""
+def run_mc(config: McRunConfig = McRunConfig(), recorder=None) -> McResult:
+    """Synthesize the configured request stream and serve it.
+
+    Args:
+        config: Workload, policy, and controller parameters.
+        recorder: Optional :class:`repro.obs.TraceRecorder`; when given,
+            the engine and controller emit their event streams into it.
+            Results are bit-identical either way.
+    """
     requests = generate_requests(
         config.workload,
         num_subchannels=config.subchannels,
@@ -270,7 +277,8 @@ def run_mc(config: McRunConfig = McRunConfig()) -> McResult:
         trefi_ns=config.timing.t_refi,
     )
     return run_mc_requests(
-        requests, config, workload_name=config.workload.display_name()
+        requests, config, workload_name=config.workload.display_name(),
+        recorder=recorder,
     )
 
 
@@ -279,6 +287,7 @@ def run_mc_requests(
     config: McRunConfig,
     workload_name: str = "requests",
     channel: Optional[ChannelSim] = None,
+    recorder=None,
 ) -> McResult:
     """Serve an explicit request stream (tests, converters, replays).
 
@@ -290,10 +299,15 @@ def run_mc_requests(
         workload_name: Label recorded in the result.
         channel: Pre-built channel (trace replays build one from the
             mapping's geometry).
+        recorder: Optional :class:`repro.obs.TraceRecorder` attached to
+            the channel's sub-channels and the controller.
     """
     if channel is None:
         channel = build_mc_channel(config)
     controller = MemoryController(channel, config.mc_config())
+    if recorder is not None:
+        channel.attach_recorder(recorder)
+        controller.recorder = recorder
     served = controller.serve(requests)
     horizon = config.n_trefi * config.timing.t_refi
     return _summarize(served, channel, config, workload_name,
@@ -304,6 +318,7 @@ def run_mc_trace(
     trace,
     config: McRunConfig = McRunConfig(),
     mapping=None,
+    recorder=None,
 ) -> McResult:
     """Replay a v2 address trace as a closed-loop request stream.
 
@@ -327,6 +342,9 @@ def run_mc_trace(
     )
     requests = requests_from_trace(trace, mapping)
     controller = MemoryController(channel, config.mc_config())
+    if recorder is not None:
+        channel.attach_recorder(recorder)
+        controller.recorder = recorder
     served = controller.serve(requests)
 
     trefi = config.timing.t_refi

@@ -172,6 +172,28 @@ def git_revision(cwd: Optional[Path] = None) -> str:
         return "unknown"
 
 
+def git_describe(cwd: Optional[Path] = None) -> str:
+    """``git describe --always --dirty`` of the checkout, or ``"unknown"``.
+
+    Richer than :func:`git_revision` — provenance blocks use it to
+    record distance from the last tag and whether the working tree was
+    dirty when the artifact was produced. Anchored at this module's
+    location for the same reason.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd or Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
 def git_toplevel(cwd: Optional[Path] = None) -> Optional[Path]:
     """Root of the repro checkout, or ``None`` for non-repo installs.
 

@@ -11,13 +11,12 @@ contributes the attack point executor and result codec.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.sweep.attack_spec import AttackSweepPoint, AttackSweepSpec
-from repro.sweep.runner import ProgressFn, run_cached_grid
+from repro.sweep.runner import ProgressFn, run_cached_grid, wall_timer
 
 #: Default on-disk cache location (sibling of the perf sweep cache).
 DEFAULT_ATTACK_CACHE_DIR = Path(".repro-cache") / "attack"
@@ -83,6 +82,9 @@ class AttackSweepResult:
     results: List[AttackPointResult] = field(default_factory=list)
     wall_clock_s: float = 0.0
     jobs: int = 1
+    #: Cache statistics from :func:`run_cached_grid` (hits, misses,
+    #: recomputes, elapsed time) — recorded into artifact provenance.
+    cache_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -118,7 +120,7 @@ class AttackSweepResult:
 
 def execute_attack_point(point: AttackSweepPoint) -> AttackPointResult:
     """Run one attack point in the current process (worker entry)."""
-    started = time.perf_counter()
+    started = wall_timer()
     result = point.attack.execute(point.run)
     return AttackPointResult(
         key=point.key,
@@ -130,7 +132,7 @@ def execute_attack_point(point: AttackSweepPoint) -> AttackPointResult:
         seed=point.run.seed,
         params=point.attack.param_dict(),
         metrics=result.as_metrics(),
-        wall_clock_s=time.perf_counter() - started,
+        wall_clock_s=wall_timer() - started,
     )
 
 
@@ -149,7 +151,8 @@ def run_attack_sweep(
         progress: Optional callback receiving one line per finished
             point (``[done/total] key (cached|12.3s)``).
     """
-    started = time.perf_counter()
+    started = wall_timer()
+    cache_stats: Dict[str, object] = {}
     ordered = run_cached_grid(
         spec.points(),
         execute_attack_point,
@@ -157,10 +160,12 @@ def run_attack_sweep(
         jobs=jobs,
         cache_dir=cache_dir,
         progress=progress,
+        stats=cache_stats,
     )
     return AttackSweepResult(
         spec=spec,
         results=ordered,
-        wall_clock_s=time.perf_counter() - started,
+        wall_clock_s=wall_timer() - started,
         jobs=jobs,
+        cache_stats=cache_stats,
     )

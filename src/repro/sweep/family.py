@@ -124,10 +124,15 @@ class SweepFamily:
         return base / BASELINE_DIR / self.baseline_name(preset_name)
 
     def make_artifact(
-        self, result: Any, git_rev: Optional[str] = None
+        self,
+        result: Any,
+        git_rev: Optional[str] = None,
+        provenance: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Serialize a sweep result into this family's schema."""
-        return make_family_artifact(self, result, git_rev=git_rev)
+        return make_family_artifact(
+            self, result, git_rev=git_rev, provenance=provenance
+        )
 
     def check_against_baseline(
         self,
@@ -149,7 +154,10 @@ class SweepFamily:
 
 
 def make_family_artifact(
-    family: SweepFamily, result: Any, git_rev: Optional[str] = None
+    family: SweepFamily,
+    result: Any,
+    git_rev: Optional[str] = None,
+    provenance: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Serialize any family's sweep result into its artifact schema.
 
@@ -159,6 +167,12 @@ def make_family_artifact(
     ``point_payload`` columns. Emits the byte-for-byte layout of the
     pre-registry per-family builders (artifacts are serialized with
     ``sort_keys=True``, so insertion order carries no information).
+
+    ``provenance`` (a :func:`repro.obs.run_provenance` block, carrying
+    the run's backend/git/cache identity) is added as a separate
+    top-level key only when given: the baseline gate compares
+    ``points`` only, and omitting the key keeps artifacts written
+    without it byte-identical to earlier releases.
     """
     spec = result.spec
     artifact: Dict[str, Any] = {
@@ -190,6 +204,8 @@ def make_family_artifact(
             },
         }
     )
+    if provenance is not None:
+        artifact["provenance"] = provenance
     return artifact
 
 

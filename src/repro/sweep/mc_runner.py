@@ -12,14 +12,13 @@ contributes the point executor and result codec.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.sim.mc import run_mc
 from repro.sweep.mc_spec import McSweepPoint, McSweepSpec
-from repro.sweep.runner import ProgressFn, run_cached_grid
+from repro.sweep.runner import ProgressFn, run_cached_grid, wall_timer
 
 #: Default on-disk cache location (sibling of the other family caches).
 DEFAULT_MC_CACHE_DIR = Path(".repro-cache") / "mc"
@@ -101,6 +100,9 @@ class McSweepResult:
     results: List[McPointResult] = field(default_factory=list)
     wall_clock_s: float = 0.0
     jobs: int = 1
+    #: Cache statistics from :func:`run_cached_grid` (hits, misses,
+    #: recomputes, elapsed time) — recorded into artifact provenance.
+    cache_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -139,7 +141,7 @@ class McSweepResult:
 
 def execute_mc_point(point: McSweepPoint) -> McPointResult:
     """Run one mc point in the current process (worker entry)."""
-    started = time.perf_counter()
+    started = wall_timer()
     result = run_mc(point.config)
     config = point.config
     return McPointResult(
@@ -158,7 +160,7 @@ def execute_mc_point(point: McSweepPoint) -> McPointResult:
         n_trefi=config.n_trefi,
         seed=config.seed,
         metrics=result.as_metrics(),
-        wall_clock_s=time.perf_counter() - started,
+        wall_clock_s=wall_timer() - started,
     )
 
 
@@ -177,7 +179,8 @@ def run_mc_sweep(
         progress: Optional callback receiving one line per finished
             point (``[done/total] key (cached|12.3s)``).
     """
-    started = time.perf_counter()
+    started = wall_timer()
+    cache_stats: Dict[str, object] = {}
     ordered = run_cached_grid(
         spec.points(),
         execute_mc_point,
@@ -185,10 +188,12 @@ def run_mc_sweep(
         jobs=jobs,
         cache_dir=cache_dir,
         progress=progress,
+        stats=cache_stats,
     )
     return McSweepResult(
         spec=spec,
         results=ordered,
-        wall_clock_s=time.perf_counter() - started,
+        wall_clock_s=wall_timer() - started,
         jobs=jobs,
+        cache_stats=cache_stats,
     )

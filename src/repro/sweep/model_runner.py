@@ -12,13 +12,12 @@ point a stable ``BENCH``/baseline identity.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.sweep.model_spec import ModelSweepPoint, ModelSweepSpec
-from repro.sweep.runner import ProgressFn, run_cached_grid
+from repro.sweep.runner import ProgressFn, run_cached_grid, wall_timer
 
 #: Default on-disk cache location (sibling of the other sweep caches).
 DEFAULT_MODEL_CACHE_DIR = Path(".repro-cache") / "model"
@@ -69,6 +68,9 @@ class ModelSweepResult:
     results: List[ModelPointResult] = field(default_factory=list)
     wall_clock_s: float = 0.0
     jobs: int = 1
+    #: Cache statistics from :func:`run_cached_grid` (hits, misses,
+    #: recomputes, elapsed time) — recorded into artifact provenance.
+    cache_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -90,7 +92,7 @@ class ModelSweepResult:
 
 def execute_model_point(point: ModelSweepPoint) -> ModelPointResult:
     """Evaluate one model point in the current process (worker entry)."""
-    started = time.perf_counter()
+    started = wall_timer()
     metrics = point.model.evaluate()
     return ModelPointResult(
         key=point.key,
@@ -98,7 +100,7 @@ def execute_model_point(point: ModelSweepPoint) -> ModelPointResult:
         kind=point.model.kind,
         params=point.model.param_dict(),
         metrics={k: float(v) for k, v in metrics.items()},
-        wall_clock_s=time.perf_counter() - started,
+        wall_clock_s=wall_timer() - started,
     )
 
 
@@ -117,7 +119,8 @@ def run_model_sweep(
         progress: Optional callback receiving one line per finished
             point (``[done/total] key (cached|12.3s)``).
     """
-    started = time.perf_counter()
+    started = wall_timer()
+    cache_stats: Dict[str, object] = {}
     ordered = run_cached_grid(
         spec.points(),
         execute_model_point,
@@ -125,10 +128,12 @@ def run_model_sweep(
         jobs=jobs,
         cache_dir=cache_dir,
         progress=progress,
+        stats=cache_stats,
     )
     return ModelSweepResult(
         spec=spec,
         results=ordered,
-        wall_clock_s=time.perf_counter() - started,
+        wall_clock_s=wall_timer() - started,
         jobs=jobs,
+        cache_stats=cache_stats,
     )

@@ -35,6 +35,18 @@ DEFAULT_CACHE_DIR = Path(".repro-cache") / "sweep"
 ProgressFn = Callable[[str], None]
 
 
+def wall_timer() -> float:
+    """The sanctioned wall-clock read for orchestration telemetry.
+
+    Every wall-time measurement outside this module, ``repro.obs``, and
+    the benchmark suite goes through this function (enforced by the
+    ``telemetry-purity`` lint rule): wall clock is orchestration
+    telemetry — never baseline-gated, never a simulated quantity — and
+    funneling it here keeps simulation scope free of host-time reads.
+    """
+    return time.perf_counter()
+
+
 def stderr_progress(quiet: bool = False) -> Optional[ProgressFn]:
     """The one progress policy every CLI command shares.
 
@@ -114,6 +126,9 @@ class SweepResult:
     results: List[PointResult] = field(default_factory=list)
     wall_clock_s: float = 0.0
     jobs: int = 1
+    #: Cache statistics from :func:`run_cached_grid` (hits, misses,
+    #: recomputes, elapsed time) — recorded into artifact provenance.
+    cache_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -205,6 +220,7 @@ def run_cached_grid(
     jobs: int = 1,
     cache_dir: Optional[Path] = None,
     progress: Optional[ProgressFn] = None,
+    stats: Optional[Dict[str, object]] = None,
 ):
     """Shared cache/pool orchestration for both sweep families.
 
@@ -222,11 +238,17 @@ def run_cached_grid(
         jobs: Worker processes (``1`` = serial, in-process).
         cache_dir: Per-point result cache; ``None`` disables caching.
         progress: Optional callback receiving one line per finished
-            point (``[done/total] key (cached|12.3s)``).
+            point (``[done/total] key (cached|12.3s)``) plus a final
+            cache/throughput summary line.
+        stats: Optional dict the runner fills with cache statistics:
+            ``hits`` (revived from cache), ``misses`` (no cache
+            entry), ``recomputes`` (entry present but stale or
+            unreadable), ``executed``, ``elapsed_s``, ``points_per_s``.
 
     Returns:
         Results in the same order as ``points``.
     """
+    started = time.perf_counter()
     total = len(points)
     results: Dict[int, object] = {}
 
@@ -236,16 +258,27 @@ def run_cached_grid(
             status = "cached" if result.cached else f"{result.wall_clock_s:.1f}s"
             progress(f"[{len(results)}/{total}] {result.key} ({status})")
 
+    hits = misses = recomputes = 0
     pending: List[int] = []
     for index, point in enumerate(points):
-        cached = (
-            _load_cached(cache_dir, point.config_hash(), from_json)
-            if cache_dir
-            else None
-        )
-        if cached is not None:
-            note(index, cached)
+        if cache_dir:
+            config_hash = point.config_hash()
+            had_entry = _cache_path(cache_dir, config_hash).is_file()
+            cached = _load_cached(cache_dir, config_hash, from_json)
         else:
+            had_entry = False
+            cached = None
+        if cached is not None:
+            hits += 1
+            note(index, cached)
+        elif had_entry:
+            # An entry existed but failed revival (stale hash, corrupt
+            # JSON, codec drift): counted apart from plain misses —
+            # unexpected recomputes are the cache-invalidation signal.
+            recomputes += 1
+            pending.append(index)
+        else:
+            misses += 1
             pending.append(index)
 
     if pending and jobs > 1:
@@ -267,6 +300,24 @@ def run_cached_grid(
                 _store_cached(cache_dir, result)
             note(index, result)
 
+    elapsed_s = time.perf_counter() - started
+    rate = total / elapsed_s if elapsed_s > 0 else 0.0
+    if stats is not None:
+        stats.update({
+            "hits": hits,
+            "misses": misses,
+            "recomputes": recomputes,
+            "executed": len(pending),
+            "elapsed_s": elapsed_s,
+            "points_per_s": rate,
+        })
+    if progress is not None and total:
+        progress(
+            f"cache: {hits} hits, {misses} misses, {recomputes} "
+            f"recomputes; {total} points in {elapsed_s:.1f}s "
+            f"({rate:.1f} points/s)"
+        )
+
     return [results[i] for i in range(total)]
 
 
@@ -286,6 +337,7 @@ def run_sweep(
             point (``[done/total] key (cached|12.3s)``).
     """
     started = time.perf_counter()
+    cache_stats: Dict[str, object] = {}
     ordered = run_cached_grid(
         spec.points(),
         execute_point,
@@ -293,10 +345,12 @@ def run_sweep(
         jobs=jobs,
         cache_dir=cache_dir,
         progress=progress,
+        stats=cache_stats,
     )
     return SweepResult(
         spec=spec,
         results=ordered,
         wall_clock_s=time.perf_counter() - started,
         jobs=jobs,
+        cache_stats=cache_stats,
     )

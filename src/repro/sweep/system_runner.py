@@ -12,14 +12,13 @@ nests. ``SystemSim``'s own sharded pool/cache serve the direct API and
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.system.sim import run_system
 from repro.sweep.system_spec import SystemSweepPoint, SystemSweepSpec
-from repro.sweep.runner import ProgressFn, run_cached_grid
+from repro.sweep.runner import ProgressFn, run_cached_grid, wall_timer
 
 #: Default on-disk cache location (sibling of the other family caches).
 DEFAULT_SYSTEM_CACHE_DIR = Path(".repro-cache") / "system"
@@ -104,6 +103,9 @@ class SystemSweepResult:
     results: List[SystemPointResult] = field(default_factory=list)
     wall_clock_s: float = 0.0
     jobs: int = 1
+    #: Cache statistics from :func:`run_cached_grid` (hits, misses,
+    #: recomputes, elapsed time) — recorded into artifact provenance.
+    cache_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -145,7 +147,7 @@ def execute_system_point(point: SystemSweepPoint) -> SystemPointResult:
 
     Serial and uncached by design — see the module docstring.
     """
-    started = time.perf_counter()
+    started = wall_timer()
     result = run_system(point.config, jobs=1, cache_dir=None)
     config = point.config
     return SystemPointResult(
@@ -163,7 +165,7 @@ def execute_system_point(point: SystemSweepPoint) -> SystemPointResult:
         n_trefi=config.n_trefi,
         seed=config.seed,
         metrics=result.as_metrics(),
-        wall_clock_s=time.perf_counter() - started,
+        wall_clock_s=wall_timer() - started,
     )
 
 
@@ -182,7 +184,8 @@ def run_system_sweep(
         progress: Optional callback receiving one line per finished
             point (``[done/total] key (cached|12.3s)``).
     """
-    started = time.perf_counter()
+    started = wall_timer()
+    cache_stats: Dict[str, object] = {}
     ordered = run_cached_grid(
         spec.points(),
         execute_system_point,
@@ -190,10 +193,12 @@ def run_system_sweep(
         jobs=jobs,
         cache_dir=cache_dir,
         progress=progress,
+        stats=cache_stats,
     )
     return SystemSweepResult(
         spec=spec,
         results=ordered,
-        wall_clock_s=time.perf_counter() - started,
+        wall_clock_s=wall_timer() - started,
         jobs=jobs,
+        cache_stats=cache_stats,
     )

@@ -213,3 +213,20 @@ def client_requests(
         trefi_ns=timing.t_refi,
     )
     return [dataclasses.replace(r, client=index) for r in requests]
+
+
+def record_crossbar_grants(recorder, completed, sub_base: int = 0) -> None:
+    """Derive ``grant`` events from a shard's completions, post hoc.
+
+    One event per admission, stamped at the grant instant (the
+    request's enqueue time) with the winning client — the arbitration
+    outcomes of :meth:`repro.mc.controller.MemoryController.run_streams`
+    recovered without touching its grant loop. ``sub_base`` offsets the
+    sub-channel index for multi-channel merges (see
+    :meth:`repro.sim.channel.ChannelSim.attach_recorder`).
+    """
+    emit = recorder.emit
+    for c in completed:
+        req = c.request
+        emit("grant", c.enqueue_ns, sub=sub_base + req.subchannel,
+             bank=req.bank, client=req.client)

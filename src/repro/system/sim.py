@@ -39,7 +39,6 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -54,7 +53,8 @@ from repro.mc.sched import (
 )
 from repro.mitigations.registry import PolicySpec
 from repro.sim.mc import LINE_BYTES, McResult, McRunConfig, _percentile, build_mc_channel
-from repro.system.crossbar import ClientSpec, client_requests
+from repro.sweep.runner import wall_timer
+from repro.system.crossbar import ClientSpec, client_requests, record_crossbar_grants
 from repro.workloads.requests import McWorkload
 
 #: Bump when controller, crossbar, or engine semantics change in a way
@@ -290,9 +290,19 @@ class ShardResult:
         )
 
 
-def execute_system_shard(shard: ChannelShard) -> ShardResult:
-    """Simulate one channel in the current process (worker entry)."""
-    started = time.perf_counter()
+def execute_system_shard(shard: ChannelShard, recorder=None) -> ShardResult:
+    """Simulate one channel in the current process (worker entry).
+
+    Args:
+        shard: The channel cell to simulate.
+        recorder: Optional :class:`repro.obs.TraceRecorder`. Traced
+            shards run in-process only (recorders do not cross the
+            worker-pool pickle boundary); each shard's sub-channels
+            are offset by ``channel * subchannels`` so merged traces
+            keep globally distinct tracks. Results are bit-identical
+            with or without it.
+    """
+    started = wall_timer()
     config = shard.config
     streams = [
         client_requests(
@@ -311,9 +321,19 @@ def execute_system_shard(shard: ChannelShard) -> ShardResult:
     mc_config = config.mc_run_config()
     channel = build_mc_channel(mc_config)
     controller = MemoryController(channel, mc_config.mc_config())
+    if recorder is not None:
+        channel.attach_recorder(
+            recorder, base=shard.channel * config.subchannels
+        )
+        controller.recorder = recorder
     completed = controller.run_streams(
         streams, [client.priority for client in config.clients]
     )
+    if recorder is not None:
+        record_crossbar_grants(
+            recorder, completed,
+            sub_base=shard.channel * config.subchannels,
+        )
     horizon = config.n_trefi * config.timing.t_refi
     budget = slo_budget_ns(config.scheduler, config.sched_params)
     per_client: List[ClientShardStats] = []
@@ -344,7 +364,7 @@ def execute_system_shard(shard: ChannelShard) -> ShardResult:
         total_acts=channel.total_acts,
         elapsed_ns=max(channel.now, horizon),
         per_client=per_client,
-        wall_clock_s=time.perf_counter() - started,
+        wall_clock_s=wall_timer() - started,
     )
 
 
@@ -411,6 +431,10 @@ class SystemResult:
     wall_clock_s: float = 0.0
     jobs: int = 1
     cache_hits: int = 0
+    #: Shard-pool cache statistics (see
+    #: :func:`repro.sweep.runner.run_cached_grid`); empty for traced
+    #: runs, which bypass the cache.
+    cache_stats: Dict[str, object] = field(default_factory=dict)
 
     def client(self, name: str) -> ClientMetrics:
         for metrics in self.clients:
@@ -551,11 +575,31 @@ class SystemSim:
         jobs: int = 1,
         cache_dir: Optional[Path] = None,
         progress=None,
+        recorder=None,
     ) -> SystemResult:
-        """Simulate every channel; parallel when ``jobs > 1``."""
+        """Simulate every channel; parallel when ``jobs > 1``.
+
+        A traced run (``recorder`` set) executes its shards serially
+        in-process and bypasses the cache entirely: a cache hit would
+        skip event emission, and recorders cannot cross the worker
+        pool's pickle boundary. Metrics stay bit-identical; only the
+        event stream is additional.
+        """
         from repro.sweep.runner import run_cached_grid
 
-        started = time.perf_counter()
+        started = wall_timer()
+        if recorder is not None:
+            shards = [
+                execute_system_shard(shard, recorder=recorder)
+                for shard in self.shards()
+            ]
+            return _assemble(
+                self.config,
+                shards,
+                wall_clock_s=wall_timer() - started,
+                jobs=1,
+            )
+        cache_stats: Dict[str, object] = {}
         shards = run_cached_grid(
             self.shards(),
             execute_system_shard,
@@ -563,13 +607,16 @@ class SystemSim:
             jobs=jobs,
             cache_dir=cache_dir,
             progress=progress,
+            stats=cache_stats,
         )
-        return _assemble(
+        result = _assemble(
             self.config,
             shards,
-            wall_clock_s=time.perf_counter() - started,
+            wall_clock_s=wall_timer() - started,
             jobs=jobs,
         )
+        result.cache_stats = cache_stats
+        return result
 
 
 def run_system(
@@ -577,8 +624,10 @@ def run_system(
     jobs: int = 1,
     cache_dir: Optional[Path] = None,
     progress=None,
+    recorder=None,
 ) -> SystemResult:
     """Run one system configuration (convenience over :class:`SystemSim`)."""
     return SystemSim(config).run(
-        jobs=jobs, cache_dir=cache_dir, progress=progress
+        jobs=jobs, cache_dir=cache_dir, progress=progress,
+        recorder=recorder,
     )

@@ -26,6 +26,7 @@ EXPECTED_RULES = (
     "numba-subset",
     "registry-coverage",
     "listener-hygiene",
+    "telemetry-purity",
 )
 
 
@@ -50,7 +51,7 @@ def test_resolve_unknown_rule_message():
     assert str(exc.value) == (
         "unknown lint rule(s): nope (known: determinism, "
         "hash-neutrality, numba-subset, registry-coverage, "
-        "listener-hygiene)"
+        "listener-hygiene, telemetry-purity)"
     )
 
 

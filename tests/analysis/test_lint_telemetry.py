@@ -1,0 +1,105 @@
+"""Fixture tests for the ``telemetry-purity`` lint rule."""
+
+from __future__ import annotations
+
+from repro.analysis.lint.telemetry_purity import check
+
+
+def test_perf_counter_outside_telemetry_flagged(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        started = time.perf_counter()
+    """, rel_path="sweep/attack_runner.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "telemetry-purity"
+    assert "wall_timer" in findings[0].message
+
+
+def test_every_clock_variant_flagged(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        a = time.perf_counter_ns()
+        b = time.monotonic()
+        c = time.process_time()
+        d = time.thread_time_ns()
+    """, rel_path="report/pipeline.py")
+    assert [f.line for f in findings] == [3, 4, 5, 6]
+
+
+def test_from_import_alias_flagged(lint_rule):
+    findings = lint_rule(check, """
+        from time import monotonic as clock
+        t = clock()
+    """, rel_path="mc/controller.py")
+    assert len(findings) == 1
+
+
+def test_applies_outside_simulation_packages_too(lint_rule):
+    # Unlike determinism, the rule has no package scope guard: a
+    # wall-clock read anywhere outside the allowlist is a finding.
+    findings = lint_rule(check, """
+        import time
+        t = time.monotonic()
+    """, rel_path="cli.py")
+    assert len(findings) == 1
+
+
+def test_obs_package_allowed(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        t = time.perf_counter()
+    """, rel_path="obs/provenance.py")
+    assert findings == []
+
+
+def test_sweep_runner_allowed_by_path_suffix(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        def wall_timer():
+            return time.perf_counter()
+    """, rel_path="sweep/runner.py")
+    assert findings == []
+
+
+def test_other_sweep_modules_not_allowed(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        t = time.perf_counter()
+    """, rel_path="sweep/mc_runner.py")
+    assert len(findings) == 1
+
+
+def test_benchmarks_allowed(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        t = time.perf_counter()
+    """, rel_path="benchmarks/test_mc_hotpath.py")
+    assert findings == []
+
+
+def test_sim_clock_reads_not_confused_with_host_clock(lint_rule):
+    # engine.now, methods named monotonic on other objects, and
+    # time.time (determinism's jurisdiction) are not this rule's.
+    findings = lint_rule(check, """
+        import time
+        now = engine.now
+        x = clocksource.monotonic()
+        stamp = time.time()
+    """, rel_path="sim/engine.py")
+    assert findings == []
+
+
+def test_suppression_honored(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        t = time.perf_counter()  # repro-lint: disable=telemetry-purity
+    """, rel_path="sim/perf.py")
+    assert findings == []
+
+
+def test_custom_allowlist_param(lint_rule):
+    findings = lint_rule(check, """
+        import time
+        t = time.perf_counter()
+    """, rel_path="sweep/mc_runner.py", allowed=("sweep",))
+    assert findings == []

@@ -117,9 +117,12 @@ class TestParallelRunner:
         lines = []
         spec = tiny_spec(workloads=("tc",), ath=(64, 128))
         run_sweep(spec, jobs=1, cache_dir=None, progress=lines.append)
-        assert len(lines) == 2
+        # One line per point, plus the closing cache-statistics line.
+        assert len(lines) == 3
         assert lines[0].startswith("[1/2] ")
-        assert lines[-1].startswith("[2/2] ")
+        assert lines[1].startswith("[2/2] ")
+        assert lines[-1].startswith("cache: 0 hits, 2 misses, ")
+        assert "2 points in" in lines[-1]
 
 
 class TestPolicyGenericPoints:
